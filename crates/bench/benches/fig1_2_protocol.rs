@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 1/2: the end-to-end integrity-request protocol
+//! walk-through (query Packet-In → analysis → auth round → signed reply).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rvaas_client::QuerySpec;
+use rvaas_topology::generators;
+use rvaas_types::{ClientId, HostId, SimTime};
+use rvaas_workloads::ScenarioBuilder;
+
+fn protocol_roundtrip(spines: usize, leaves: usize, hosts_per_leaf: usize) -> usize {
+    let topo = generators::leaf_spine(spines, leaves, hosts_per_leaf, 1);
+    let victim_host = topo.hosts_of_client(ClientId(1))[0].id;
+    let mut scenario = ScenarioBuilder::new(topo)
+        .query(victim_host, SimTime::from_millis(5), QuerySpec::Isolation)
+        .build();
+    scenario.run_until(SimTime::from_millis(120));
+    scenario.replies_for(victim_host).len()
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_2_protocol_walkthrough");
+    group.sample_size(10);
+    for (label, spines, leaves, hpl) in [("small", 2usize, 3usize, 2usize), ("medium", 2, 6, 3)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                let replies = protocol_roundtrip(spines, leaves, hpl);
+                assert_eq!(replies, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_query_line(c: &mut Criterion) {
+    c.bench_function("fig1_2_line4_isolation_query", |b| {
+        b.iter(|| {
+            let topo = generators::line(4, 2);
+            let mut scenario = ScenarioBuilder::new(topo)
+                .query(HostId(1), SimTime::from_millis(5), QuerySpec::Isolation)
+                .build();
+            scenario.run_until(SimTime::from_millis(80));
+            assert_eq!(scenario.replies_for(HostId(1)).len(), 1);
+        })
+    });
+}
+
+criterion_group!(benches, bench_protocol, bench_single_query_line);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for experiment T4: logical-verification (HSA) scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rvaas::{LocationMap, LogicalVerifier, NetworkSnapshot, VerifierConfig};
+use rvaas_controlplane::benign_rules;
+use rvaas_topology::generators;
+use rvaas_types::{ClientId, SimTime};
+
+fn bench_isolation_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hsa_isolation_check");
+    for (label, topo) in [
+        ("line8", generators::line(8, 2)),
+        ("leaf_spine_2_4_2", generators::leaf_spine(2, 4, 2, 1)),
+        ("fat_tree_4", generators::fat_tree(4, 4)),
+    ] {
+        let mut snapshot = NetworkSnapshot::new(SimTime::from_secs(1));
+        for (switch, entry) in benign_rules(&topo) {
+            snapshot.record_installed(switch, entry, SimTime::from_millis(1));
+        }
+        let verifier = LogicalVerifier::new(
+            topo.clone(),
+            VerifierConfig {
+                use_history: false,
+                locations: LocationMap::disclosed(&topo),
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| verifier.isolation_check(&snapshot, ClientId(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_geo_regions(c: &mut Criterion) {
+    let topo = generators::line(16, 2);
+    let mut snapshot = NetworkSnapshot::new(SimTime::from_secs(1));
+    for (switch, entry) in benign_rules(&topo) {
+        snapshot.record_installed(switch, entry, SimTime::from_millis(1));
+    }
+    let verifier = LogicalVerifier::new(
+        topo.clone(),
+        VerifierConfig {
+            use_history: false,
+            locations: LocationMap::disclosed(&topo),
+        },
+    );
+    c.bench_function("hsa_geo_regions_line16", |b| {
+        b.iter(|| verifier.geo_regions(&snapshot, ClientId(1)))
+    });
+}
+
+criterion_group!(benches, bench_isolation_check, bench_geo_regions);
+criterion_main!(benches);

@@ -1,0 +1,400 @@
+//! The client agent host application.
+//!
+//! One [`ClientAgent`] runs on every client host. It does three things:
+//!
+//! 1. **Issues queries**: builds signed, magic-header query packets and sends
+//!    them through its access point (either on a schedule or when driven by
+//!    an experiment).
+//! 2. **Responds to authentication requests**: when RVaaS probes the host
+//!    during an authentication round, the agent answers with a signed
+//!    [`AuthReply`] "publishing itself", as the paper describes. A
+//!    configuration flag can disable this to model unresponsive or
+//!    uncooperative clients.
+//! 3. **Verifies replies**: checks the RVaaS signature and the echoed nonce
+//!    on query replies before accepting them, and records the verified
+//!    results for the experiment driver to inspect.
+
+use rvaas_crypto::{Keypair, PublicKey};
+use rvaas_netsim::{HostApp, HostContext};
+use rvaas_types::{ClientId, Packet, QueryId, SimTime};
+
+use crate::protocol::{
+    auth_reply_packet, decode_inband, query_packet, AuthReply, InbandMessage, QueryReply,
+    QueryRequest, QuerySpec,
+};
+
+/// Configuration of a client agent.
+#[derive(Debug, Clone)]
+pub struct ClientAgentConfig {
+    /// The client this agent belongs to.
+    pub client: ClientId,
+    /// The RVaaS verification key (learned out of band / via attestation).
+    pub rvaas_key: PublicKey,
+    /// Whether the agent answers authentication requests (set to `false` to
+    /// model a crashed or uncooperative endpoint).
+    pub respond_to_auth: bool,
+    /// Queries to issue automatically, as `(delay from start, spec)` pairs.
+    pub scheduled_queries: Vec<(SimTime, QuerySpec)>,
+}
+
+/// A query reply that passed signature and nonce verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedReply {
+    /// The reply as received.
+    pub reply: QueryReply,
+    /// The spec of the query this reply answers.
+    pub spec: QuerySpec,
+    /// Time the reply was verified.
+    pub at: SimTime,
+}
+
+/// The client agent.
+#[derive(Debug)]
+pub struct ClientAgent {
+    config: ClientAgentConfig,
+    keypair: Keypair,
+    next_nonce: u64,
+    /// Outstanding queries by nonce.
+    pending: Vec<(u64, QuerySpec)>,
+    /// Verified replies received so far.
+    verified: Vec<VerifiedReply>,
+    /// Replies that failed verification (bad signature or unknown nonce).
+    rejected: u64,
+    /// Authentication requests answered.
+    auth_answered: u64,
+    /// Authentication requests ignored (when `respond_to_auth` is false).
+    auth_ignored: u64,
+}
+
+impl ClientAgent {
+    /// Creates an agent with the given configuration and signing key.
+    #[must_use]
+    pub fn new(config: ClientAgentConfig, keypair: Keypair) -> Self {
+        ClientAgent {
+            config,
+            keypair,
+            next_nonce: 1,
+            pending: Vec::new(),
+            verified: Vec::new(),
+            rejected: 0,
+            auth_answered: 0,
+            auth_ignored: 0,
+        }
+    }
+
+    /// The agent's verification key (registered with RVaaS at enrolment).
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public_key()
+    }
+
+    /// The client this agent acts for.
+    #[must_use]
+    pub fn client(&self) -> ClientId {
+        self.config.client
+    }
+
+    /// Replies that passed verification so far.
+    #[must_use]
+    pub fn verified_replies(&self) -> &[VerifiedReply] {
+        &self.verified
+    }
+
+    /// Number of replies rejected (bad signature / unknown nonce).
+    #[must_use]
+    pub fn rejected_replies(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of authentication requests this agent answered.
+    #[must_use]
+    pub fn auth_answered(&self) -> u64 {
+        self.auth_answered
+    }
+
+    /// Number of authentication requests this agent deliberately ignored.
+    #[must_use]
+    pub fn auth_ignored(&self) -> u64 {
+        self.auth_ignored
+    }
+
+    /// Builds a signed query packet from `src_ip` without sending it (used by
+    /// experiment drivers that inject packets directly).
+    pub fn build_query(&mut self, src_ip: u32, spec: QuerySpec) -> Packet {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let signed = QueryRequest::signed_bytes(self.config.client, nonce, &spec);
+        let signature = self
+            .keypair
+            .sign(&signed)
+            .expect("client signing capacity exhausted");
+        self.pending.push((nonce, spec.clone()));
+        let request = QueryRequest {
+            client: self.config.client,
+            nonce,
+            spec,
+            signature,
+        };
+        query_packet(src_ip, &request)
+    }
+
+    fn handle_auth_request(&mut self, packet_ip_dst: u32, msg: &crate::protocol::AuthRequest, ctx: &mut HostContext) {
+        if !self.config.respond_to_auth {
+            self.auth_ignored += 1;
+            return;
+        }
+        self.auth_answered += 1;
+        let signed = AuthReply::signed_bytes(msg.query, msg.nonce, self.config.client, ctx.ip());
+        let signature = self
+            .keypair
+            .sign(&signed)
+            .expect("client signing capacity exhausted");
+        let reply = AuthReply {
+            query: msg.query,
+            nonce: msg.nonce,
+            responder: self.config.client,
+            host_ip: ctx.ip(),
+            signature,
+        };
+        // The reply is emitted from this host's access point; `packet_ip_dst`
+        // (our own address) is only used for sanity logging.
+        let _ = packet_ip_dst;
+        ctx.send(auth_reply_packet(ctx.ip(), &reply));
+    }
+
+    fn handle_reply(&mut self, reply: QueryReply, now: SimTime) {
+        let signed = QueryReply::signed_bytes(
+            reply.query,
+            reply.nonce,
+            &reply.result,
+            reply.auth_requests_sent,
+            reply.auth_replies_received,
+        );
+        if !self.config.rvaas_key.verify(&signed, &reply.signature) {
+            self.rejected += 1;
+            return;
+        }
+        let Some(idx) = self.pending.iter().position(|(n, _)| *n == reply.nonce) else {
+            self.rejected += 1;
+            return;
+        };
+        let (_, spec) = self.pending.remove(idx);
+        self.verified.push(VerifiedReply {
+            reply,
+            spec,
+            at: now,
+        });
+    }
+
+    /// Verified replies answering a specific query id.
+    #[must_use]
+    pub fn reply_for(&self, query: QueryId) -> Option<&VerifiedReply> {
+        self.verified.iter().find(|v| v.reply.query == query)
+    }
+}
+
+impl HostApp for ClientAgent {
+    fn on_start(&mut self, ctx: &mut HostContext) {
+        for (i, (delay, _)) in self.config.scheduled_queries.iter().enumerate() {
+            ctx.schedule(*delay, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut HostContext) {
+        let Some((_, spec)) = self.config.scheduled_queries.get(token as usize).cloned() else {
+            return;
+        };
+        let packet = self.build_query(ctx.ip(), spec);
+        ctx.send(packet);
+    }
+
+    fn on_packet(&mut self, packet: &Packet, ctx: &mut HostContext) {
+        let Ok(message) = decode_inband(&packet.payload) else {
+            // Ordinary data traffic; nothing to do.
+            return;
+        };
+        match message {
+            InbandMessage::AuthRequest(req) => {
+                self.handle_auth_request(packet.header.ip_dst, &req, ctx);
+            }
+            InbandMessage::Reply(reply) => self.handle_reply(reply, ctx.now()),
+            // Queries and auth replies are never addressed to hosts.
+            InbandMessage::Query(_) | InbandMessage::AuthReply(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AuthRequest, QueryResult};
+    use rvaas_crypto::SignatureScheme;
+    use rvaas_netsim::HostContext;
+    use rvaas_types::{Header, PortId, SwitchId, SwitchPort};
+
+    fn ctx(ip: u32) -> HostContext {
+        HostContext::new(
+            SimTime::from_micros(50),
+            rvaas_types::HostId(1),
+            ip,
+            SwitchPort::new(SwitchId(1), PortId(1)),
+        )
+    }
+
+    fn rvaas_keypair() -> Keypair {
+        Keypair::generate(SignatureScheme::HmacOracle, 9000)
+    }
+
+    fn agent_with(respond: bool, rvaas_key: PublicKey) -> ClientAgent {
+        ClientAgent::new(
+            ClientAgentConfig {
+                client: ClientId(3),
+                rvaas_key,
+                respond_to_auth: respond,
+                scheduled_queries: vec![],
+            },
+            Keypair::generate(SignatureScheme::HmacOracle, 100),
+        )
+    }
+
+    #[test]
+    fn build_query_is_signed_and_tracked() {
+        let rvaas = rvaas_keypair();
+        let mut agent = agent_with(true, rvaas.public_key());
+        let packet = agent.build_query(0x0a000001, QuerySpec::Isolation);
+        match decode_inband(&packet.payload).unwrap() {
+            InbandMessage::Query(q) => {
+                assert_eq!(q.client, ClientId(3));
+                let signed = QueryRequest::signed_bytes(q.client, q.nonce, &q.spec);
+                assert!(agent.public_key().verify(&signed, &q.signature));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_request_is_answered_with_valid_signature() {
+        let rvaas = rvaas_keypair();
+        let mut agent = agent_with(true, rvaas.public_key());
+        let req = AuthRequest {
+            query: QueryId(7),
+            nonce: 555,
+            requester: ClientId(1),
+        };
+        let packet = crate::protocol::auth_request_packet(0x0a000003, &req);
+        let mut c = ctx(0x0a000003);
+        agent.on_packet(&packet, &mut c);
+        assert_eq!(agent.auth_answered(), 1);
+        let (sent, _) = c.into_effects();
+        assert_eq!(sent.len(), 1);
+        match decode_inband(&sent[0].payload).unwrap() {
+            InbandMessage::AuthReply(reply) => {
+                assert_eq!(reply.query, QueryId(7));
+                assert_eq!(reply.nonce, 555);
+                assert_eq!(reply.host_ip, 0x0a000003);
+                let signed =
+                    AuthReply::signed_bytes(reply.query, reply.nonce, reply.responder, reply.host_ip);
+                assert!(agent.public_key().verify(&signed, &reply.signature));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresponsive_agent_ignores_auth_requests() {
+        let rvaas = rvaas_keypair();
+        let mut agent = agent_with(false, rvaas.public_key());
+        let req = AuthRequest {
+            query: QueryId(7),
+            nonce: 1,
+            requester: ClientId(1),
+        };
+        let packet = crate::protocol::auth_request_packet(0x0a000003, &req);
+        let mut c = ctx(0x0a000003);
+        agent.on_packet(&packet, &mut c);
+        assert_eq!(agent.auth_answered(), 0);
+        assert_eq!(agent.auth_ignored(), 1);
+        assert!(c.into_effects().0.is_empty());
+    }
+
+    #[test]
+    fn reply_verification_accepts_valid_and_rejects_forged() {
+        let mut rvaas = rvaas_keypair();
+        let mut agent = agent_with(true, rvaas.public_key());
+        // Issue a query so a nonce is pending (nonce = 1).
+        let _ = agent.build_query(0x0a000003, QuerySpec::GeoLocation);
+
+        let result = QueryResult::Regions {
+            regions: vec!["EU".to_string()],
+        };
+        let signed = QueryReply::signed_bytes(QueryId(1), 1, &result, 2, 2);
+        let good = QueryReply {
+            query: QueryId(1),
+            nonce: 1,
+            result: result.clone(),
+            auth_requests_sent: 2,
+            auth_replies_received: 2,
+            signature: rvaas.sign(&signed).unwrap(),
+        };
+        let packet = crate::protocol::reply_packet(0x0a000003, &good);
+        let mut c = ctx(0x0a000003);
+        agent.on_packet(&packet, &mut c);
+        assert_eq!(agent.verified_replies().len(), 1);
+        assert_eq!(agent.verified_replies()[0].spec, QuerySpec::GeoLocation);
+        assert!(agent.reply_for(QueryId(1)).is_some());
+
+        // A forged reply (signed by someone else) is rejected.
+        let mut forger = Keypair::generate(SignatureScheme::HmacOracle, 4242);
+        let forged = QueryReply {
+            signature: forger.sign(&signed).unwrap(),
+            ..good.clone()
+        };
+        let packet = crate::protocol::reply_packet(0x0a000003, &forged);
+        agent.on_packet(&packet, &mut ctx(0x0a000003));
+        assert_eq!(agent.rejected_replies(), 1);
+
+        // A replayed reply for an unknown nonce is rejected too.
+        let packet = crate::protocol::reply_packet(0x0a000003, &good);
+        agent.on_packet(&packet, &mut ctx(0x0a000003));
+        assert_eq!(agent.rejected_replies(), 2);
+    }
+
+    #[test]
+    fn scheduled_queries_fire_via_timers() {
+        let rvaas = rvaas_keypair();
+        let mut agent = ClientAgent::new(
+            ClientAgentConfig {
+                client: ClientId(3),
+                rvaas_key: rvaas.public_key(),
+                respond_to_auth: true,
+                scheduled_queries: vec![(SimTime::from_millis(1), QuerySpec::Isolation)],
+            },
+            Keypair::generate(SignatureScheme::HmacOracle, 100),
+        );
+        let mut c = ctx(0x0a000003);
+        agent.on_start(&mut c);
+        let (_, timers) = c.into_effects();
+        assert_eq!(timers.len(), 1);
+        let mut c = ctx(0x0a000003);
+        agent.on_timer(0, &mut c);
+        let (packets, _) = c.into_effects();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].header.l4_dst, crate::protocol::QUERY_PORT);
+        // Unknown timer tokens are ignored.
+        let mut c = ctx(0x0a000003);
+        agent.on_timer(99, &mut c);
+        assert!(c.into_effects().0.is_empty());
+    }
+
+    #[test]
+    fn non_protocol_packets_are_ignored() {
+        let rvaas = rvaas_keypair();
+        let mut agent = agent_with(true, rvaas.public_key());
+        let data = Packet::new(Header::builder().ip_dst(1).build());
+        let mut c = ctx(0x0a000003);
+        agent.on_packet(&data, &mut c);
+        assert!(c.into_effects().0.is_empty());
+        assert_eq!(agent.verified_replies().len(), 0);
+        assert_eq!(agent.rejected_replies(), 0);
+    }
+}

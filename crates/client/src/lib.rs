@@ -1,0 +1,33 @@
+//! # rvaas-client
+//!
+//! The client side of RVaaS: the wire protocol clients speak with the
+//! verification controller, and the client agent ("clients run a software
+//! which responds to our authentication requests, in user space", paper
+//! Section IV-A3) that runs on every client host.
+//!
+//! The protocol is strictly in-band: queries and replies are ordinary UDP
+//! packets whose *magic destination port* lets the RVaaS controller intercept
+//! them at the ingress switch via Packet-In and answer via Packet-Out — no
+//! dedicated servers or protocols are exposed, as required by the paper.
+//!
+//! Modules:
+//!
+//! * [`codec`] — a small deterministic byte codec for the wire messages.
+//! * [`protocol`] — query specifications, results, authentication messages
+//!   and their packet encodings.
+//! * [`agent`] — the [`ClientAgent`] host application: issues queries,
+//!   responds to authentication requests, verifies replies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod codec;
+pub mod protocol;
+
+pub use agent::{ClientAgent, ClientAgentConfig, VerifiedReply};
+pub use protocol::{
+    auth_reply_packet, auth_request_packet, decode_inband, query_packet, reply_packet, AuthReply,
+    AuthRequest, EndpointReport, InbandMessage, NeutralityViolation, QueryReply, QueryRequest,
+    QueryResult, QuerySpec, AUTH_PORT, QUERY_PORT, RVAAS_SERVICE_IP,
+};

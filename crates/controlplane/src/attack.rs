@@ -1,0 +1,558 @@
+//! The attack catalogue of the compromised control plane.
+//!
+//! Every attack is expressed purely as a sequence of legitimate OpenFlow
+//! Flow-Mod / Meter-Mod commands — exactly the capability the paper grants a
+//! remote attacker who hacked the management system. The compilation of an
+//! attack into concrete messages is a pure function of the (known) topology,
+//! so experiments can also use it to compute ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use rvaas_openflow::{
+    Action, FlowEntry, FlowMatch, FlowModCommand, Message, MeterBand, MeterEntry,
+};
+use rvaas_topology::Topology;
+use rvaas_types::{ClientId, Field, HostId, Region, SimTime, SwitchId};
+
+use crate::routing::{next_hop_port, ATTACK_COOKIE};
+
+/// Priority used by attack rules: above the benign admission rules so the
+/// malicious behaviour takes precedence, below RVaaS's interception rules.
+pub const PRIO_ATTACK: u16 = 400;
+
+/// An attack the compromised control plane can mount.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attack {
+    /// Join attack (paper Section IV-B1): secretly give `attacker_host`
+    /// connectivity into `victim_client`'s sub-network, so the attacker can
+    /// reach the victim's assets through an unsupervised access point.
+    Join {
+        /// The host (owned by another client) that gains illegitimate access.
+        attacker_host: HostId,
+        /// The client whose isolation is broken.
+        victim_client: ClientId,
+    },
+    /// Geo-diversion (paper Section IV-B2): reroute traffic from
+    /// `client`'s host `from_host` to `to_host` through a switch located in
+    /// `via_region`, violating jurisdiction constraints.
+    GeoDivert {
+        /// Source host of the diverted flow.
+        from_host: HostId,
+        /// Destination host of the diverted flow.
+        to_host: HostId,
+        /// Region the detour must pass through.
+        via_region: Region,
+    },
+    /// Exfiltration: mirror traffic addressed to `victim_host` additionally
+    /// toward `collector_host` (owned by a different client).
+    Exfiltrate {
+        /// The host whose incoming traffic is mirrored.
+        victim_host: HostId,
+        /// The host receiving the mirrored copy.
+        collector_host: HostId,
+    },
+    /// Blackhole: silently drop traffic addressed to `victim_host`.
+    Blackhole {
+        /// The host whose traffic is dropped.
+        victim_host: HostId,
+    },
+    /// Neutrality violation: rate-limit `victim_client`'s traffic at its
+    /// access points while other clients stay unthrottled.
+    Throttle {
+        /// The client being discriminated against.
+        victim_client: ClientId,
+        /// The discriminatory rate limit in kbit/s.
+        rate_kbps: u64,
+    },
+}
+
+impl Attack {
+    /// Compiles the attack into the Flow-Mod / Meter-Mod messages the
+    /// compromised controller must send, as `(switch, message)` pairs.
+    #[must_use]
+    pub fn compile(&self, topology: &Topology) -> Vec<(SwitchId, Message)> {
+        match self {
+            Attack::Join {
+                attacker_host,
+                victim_client,
+            } => compile_join(topology, *attacker_host, *victim_client),
+            Attack::GeoDivert {
+                from_host,
+                to_host,
+                via_region,
+            } => compile_geo_divert(topology, *from_host, *to_host, via_region),
+            Attack::Exfiltrate {
+                victim_host,
+                collector_host,
+            } => compile_exfiltrate(topology, *victim_host, *collector_host),
+            Attack::Blackhole { victim_host } => compile_blackhole(topology, *victim_host),
+            Attack::Throttle {
+                victim_client,
+                rate_kbps,
+            } => compile_throttle(topology, *victim_client, *rate_kbps),
+        }
+    }
+
+    /// Compiles the messages that *undo* the attack (delete the installed
+    /// rules); used by the short-term reconfiguration (flapping) attack.
+    #[must_use]
+    pub fn compile_removal(&self, topology: &Topology) -> Vec<(SwitchId, Message)> {
+        self.compile(topology)
+            .into_iter()
+            .filter_map(|(switch, message)| match message {
+                Message::FlowMod {
+                    command: FlowModCommand::Add(entry),
+                } => Some((
+                    switch,
+                    Message::FlowMod {
+                        command: FlowModCommand::DeleteByCookie {
+                            cookie: entry.cookie,
+                        },
+                    },
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Short human-readable label for experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Attack::Join { .. } => "join",
+            Attack::GeoDivert { .. } => "geo_divert",
+            Attack::Exfiltrate { .. } => "exfiltrate",
+            Attack::Blackhole { .. } => "blackhole",
+            Attack::Throttle { .. } => "throttle",
+        }
+    }
+}
+
+fn add(switch: SwitchId, entry: FlowEntry) -> (SwitchId, Message) {
+    (
+        switch,
+        Message::FlowMod {
+            command: FlowModCommand::Add(entry),
+        },
+    )
+}
+
+fn compile_join(
+    topology: &Topology,
+    attacker_host: HostId,
+    victim_client: ClientId,
+) -> Vec<(SwitchId, Message)> {
+    let mut out = Vec::new();
+    let Some(attacker) = topology.host(attacker_host) else {
+        return out;
+    };
+    for victim in topology.hosts_of_client(victim_client) {
+        // Admit attacker -> victim traffic at the attacker's edge switch…
+        if let Some(port) = next_hop_port(topology, attacker.attachment.switch, victim) {
+            out.push(add(
+                attacker.attachment.switch,
+                FlowEntry::new(
+                    PRIO_ATTACK,
+                    FlowMatch::from_ip(attacker.ip)
+                        .field(Field::IpDst, u64::from(victim.ip))
+                        .on_port(attacker.attachment.port),
+                    vec![Action::Output(port)],
+                )
+                .with_cookie(ATTACK_COOKIE),
+            ));
+        }
+        // …and victim -> attacker traffic at the victim's edge switch, so the
+        // attacker can also receive answers.
+        if let Some(port) = next_hop_port(topology, victim.attachment.switch, attacker) {
+            out.push(add(
+                victim.attachment.switch,
+                FlowEntry::new(
+                    PRIO_ATTACK,
+                    FlowMatch::from_ip(victim.ip)
+                        .field(Field::IpDst, u64::from(attacker.ip))
+                        .on_port(victim.attachment.port),
+                    vec![Action::Output(port)],
+                )
+                .with_cookie(ATTACK_COOKIE),
+            ));
+        }
+    }
+    out
+}
+
+fn compile_geo_divert(
+    topology: &Topology,
+    from_host: HostId,
+    to_host: HostId,
+    via_region: &Region,
+) -> Vec<(SwitchId, Message)> {
+    let mut out = Vec::new();
+    let (Some(from), Some(to)) = (topology.host(from_host), topology.host(to_host)) else {
+        return out;
+    };
+    // Pick a detour switch in the target region.
+    let Some(detour) = topology
+        .switches()
+        .find(|s| s.location.region == *via_region)
+    else {
+        return out;
+    };
+    // Build the full detour path source-edge -> detour -> destination-edge
+    // and install next-hop rules along it. If the detour revisits a switch
+    // (no clean detour exists in this topology) only the first traversal of
+    // each switch gets a rule — per-switch destination rules cannot express a
+    // revisit, so such a detour would loop and the attack degenerates.
+    let (Some(p1), Some(p2)) = (
+        topology.shortest_path(from.attachment.switch, detour.id),
+        topology.shortest_path(detour.id, to.attachment.switch),
+    ) else {
+        return out;
+    };
+    let mut path = p1;
+    path.extend(p2.into_iter().skip(1));
+    let mut configured: Vec<SwitchId> = Vec::new();
+    for window in path.windows(2) {
+        let (here, next) = (window[0], window[1]);
+        if configured.contains(&here) {
+            continue;
+        }
+        configured.push(here);
+        if let Some(port) = topology.port_towards(here, next) {
+            out.push(add(
+                here,
+                FlowEntry::new(
+                    PRIO_ATTACK,
+                    FlowMatch::from_ip(from.ip).field(Field::IpDst, u64::from(to.ip)),
+                    vec![Action::Output(port)],
+                )
+                .with_cookie(ATTACK_COOKIE),
+            ));
+        }
+    }
+    // Final delivery at the destination edge switch (unless it already got a
+    // transit rule above, which would indicate a revisiting path).
+    if !configured.contains(&to.attachment.switch) {
+        out.push(add(
+            to.attachment.switch,
+            FlowEntry::new(
+                PRIO_ATTACK,
+                FlowMatch::from_ip(from.ip).field(Field::IpDst, u64::from(to.ip)),
+                vec![Action::Output(to.attachment.port)],
+            )
+            .with_cookie(ATTACK_COOKIE),
+        ));
+    }
+    out
+}
+
+fn compile_exfiltrate(
+    topology: &Topology,
+    victim_host: HostId,
+    collector_host: HostId,
+) -> Vec<(SwitchId, Message)> {
+    let mut out = Vec::new();
+    let (Some(victim), Some(collector)) =
+        (topology.host(victim_host), topology.host(collector_host))
+    else {
+        return out;
+    };
+    // At the victim's edge switch, deliver traffic to the victim *and* mirror
+    // it toward the collector.
+    let Some(toward_collector) = next_hop_port(topology, victim.attachment.switch, collector)
+    else {
+        return out;
+    };
+    out.push(add(
+        victim.attachment.switch,
+        FlowEntry::new(
+            PRIO_ATTACK,
+            FlowMatch::to_ip(victim.ip),
+            vec![
+                Action::Output(victim.attachment.port),
+                Action::Output(toward_collector),
+            ],
+        )
+        .with_cookie(ATTACK_COOKIE),
+    ));
+    // Make sure the mirrored copy is delivered at the collector's edge switch
+    // even though it is addressed to the victim: rewrite the destination at
+    // the collector's edge switch is not needed — instead install transit
+    // rules along the path matching (dst = victim) toward the collector.
+    if let Some(path) = topology.shortest_path(victim.attachment.switch, collector.attachment.switch) {
+        for window in path.windows(2) {
+            let (here, next) = (window[0], window[1]);
+            if here == victim.attachment.switch {
+                continue; // already handled by the mirror rule
+            }
+            if let Some(port) = topology.port_towards(here, next) {
+                out.push(add(
+                    here,
+                    FlowEntry::new(
+                        PRIO_ATTACK,
+                        FlowMatch::to_ip(victim.ip),
+                        vec![Action::Output(port)],
+                    )
+                    .with_cookie(ATTACK_COOKIE),
+                ));
+            }
+        }
+    }
+    // Final delivery of the mirrored copy to the collector host.
+    out.push(add(
+        collector.attachment.switch,
+        FlowEntry::new(
+            PRIO_ATTACK,
+            FlowMatch::to_ip(victim.ip).on_port(
+                topology
+                    .port_towards(
+                        collector.attachment.switch,
+                        topology
+                            .shortest_path(collector.attachment.switch, victim.attachment.switch)
+                            .and_then(|p| p.get(1).copied())
+                            .unwrap_or(collector.attachment.switch),
+                    )
+                    .unwrap_or(collector.attachment.port),
+            ),
+            vec![Action::Output(collector.attachment.port)],
+        )
+        .with_cookie(ATTACK_COOKIE),
+    ));
+    out
+}
+
+fn compile_blackhole(topology: &Topology, victim_host: HostId) -> Vec<(SwitchId, Message)> {
+    let Some(victim) = topology.host(victim_host) else {
+        return Vec::new();
+    };
+    vec![add(
+        victim.attachment.switch,
+        FlowEntry::new(
+            PRIO_ATTACK,
+            FlowMatch::to_ip(victim.ip),
+            vec![Action::Drop],
+        )
+        .with_cookie(ATTACK_COOKIE),
+    )]
+}
+
+fn compile_throttle(
+    topology: &Topology,
+    victim_client: ClientId,
+    rate_kbps: u64,
+) -> Vec<(SwitchId, Message)> {
+    let mut out = Vec::new();
+    const METER_ID: u32 = 0xBAD;
+    for victim in topology.hosts_of_client(victim_client) {
+        let switch = victim.attachment.switch;
+        out.push((
+            switch,
+            Message::MeterMod {
+                meter: MeterEntry {
+                    id: METER_ID,
+                    bands: vec![MeterBand { rate_kbps }],
+                },
+            },
+        ));
+        // Apply the meter to traffic addressed to the victim before delivery.
+        out.push(add(
+            switch,
+            FlowEntry::new(
+                PRIO_ATTACK,
+                FlowMatch::to_ip(victim.ip),
+                vec![Action::Meter(METER_ID), Action::Output(victim.attachment.port)],
+            )
+            .with_cookie(ATTACK_COOKIE),
+        ));
+    }
+    out
+}
+
+/// An attack bound to a point in time, with optional flapping behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledAttack {
+    /// The attack to mount.
+    pub attack: Attack,
+    /// When to install it.
+    pub at: SimTime,
+    /// If set, the attack "flaps": it is removed `active` after installation
+    /// and re-installed `period` after the previous installation, modelling
+    /// the short-term reconfiguration attack of paper Section IV-A
+    /// ("the adversary may simply set the correct rules for the short time
+    /// periods in which the box checks the configuration").
+    pub flapping: Option<Flapping>,
+}
+
+/// Flapping (short-term reconfiguration) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flapping {
+    /// How long the malicious rules stay installed in each period.
+    pub active: SimTime,
+    /// Full period between consecutive installations.
+    pub period: SimTime,
+    /// How many times to repeat the install/remove cycle.
+    pub repetitions: u32,
+}
+
+impl ScheduledAttack {
+    /// A one-shot attack installed at `at` and left in place.
+    #[must_use]
+    pub fn persistent(attack: Attack, at: SimTime) -> Self {
+        ScheduledAttack {
+            attack,
+            at,
+            flapping: None,
+        }
+    }
+
+    /// A flapping attack.
+    #[must_use]
+    pub fn flapping(attack: Attack, at: SimTime, flapping: Flapping) -> Self {
+        ScheduledAttack {
+            attack,
+            at,
+            flapping: Some(flapping),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_topology::generators;
+
+    #[test]
+    fn join_attack_compiles_rules_for_both_directions() {
+        let topo = generators::line(4, 2);
+        // Host 2 (client 2) attacks client 1 (hosts 1 and 3).
+        let attack = Attack::Join {
+            attacker_host: HostId(2),
+            victim_client: ClientId(1),
+        };
+        let msgs = attack.compile(&topo);
+        assert!(!msgs.is_empty());
+        // Two victim hosts x two directions = 4 rules.
+        assert_eq!(msgs.len(), 4);
+        for (_, m) in &msgs {
+            match m {
+                Message::FlowMod {
+                    command: FlowModCommand::Add(e),
+                } => {
+                    assert_eq!(e.cookie, ATTACK_COOKIE);
+                    assert_eq!(e.priority, PRIO_ATTACK);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Removal compiles to cookie-based deletes on the same switches.
+        let removal = attack.compile_removal(&topo);
+        assert_eq!(removal.len(), 4);
+        assert!(removal.iter().all(|(_, m)| matches!(
+            m,
+            Message::FlowMod {
+                command: FlowModCommand::DeleteByCookie { cookie: ATTACK_COOKIE }
+            }
+        )));
+    }
+
+    #[test]
+    fn geo_divert_routes_through_the_target_region() {
+        // line(): switch regions rotate EU, US, APAC, LATAM, EU, …
+        let topo = generators::line(6, 1);
+        let attack = Attack::GeoDivert {
+            from_host: HostId(1),
+            to_host: HostId(2),
+            via_region: Region::new("LATAM"), // switch 4
+        };
+        let msgs = attack.compile(&topo);
+        assert!(!msgs.is_empty());
+        // The detour passes switches beyond the direct 1->2 path.
+        let touched: std::collections::BTreeSet<SwitchId> =
+            msgs.iter().map(|(s, _)| *s).collect();
+        assert!(touched.contains(&SwitchId(3)), "touched: {touched:?}");
+    }
+
+    #[test]
+    fn exfiltrate_mirrors_to_collector() {
+        let topo = generators::line(4, 2);
+        let attack = Attack::Exfiltrate {
+            victim_host: HostId(1),   // client 1 on s1
+            collector_host: HostId(4), // client 2 on s4
+        };
+        let msgs = attack.compile(&topo);
+        // The rule at the victim's switch must output to two ports.
+        let mirror = msgs
+            .iter()
+            .find_map(|(s, m)| match m {
+                Message::FlowMod {
+                    command: FlowModCommand::Add(e),
+                } if *s == SwitchId(1) => Some(e.clone()),
+                _ => None,
+            })
+            .expect("mirror rule at victim switch");
+        let outputs = mirror
+            .actions
+            .iter()
+            .filter(|a| matches!(a, Action::Output(_)))
+            .count();
+        assert_eq!(outputs, 2);
+    }
+
+    #[test]
+    fn blackhole_and_throttle_compile() {
+        let topo = generators::line(3, 1);
+        let blackhole = Attack::Blackhole {
+            victim_host: HostId(2),
+        };
+        let msgs = blackhole.compile(&topo);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, SwitchId(2));
+
+        let throttle = Attack::Throttle {
+            victim_client: ClientId(1),
+            rate_kbps: 100,
+        };
+        let msgs = throttle.compile(&topo);
+        // 3 hosts of client 1 -> meter mod + flow mod each.
+        assert_eq!(msgs.len(), 6);
+        assert!(msgs.iter().any(|(_, m)| matches!(m, Message::MeterMod { .. })));
+    }
+
+    #[test]
+    fn labels_and_schedules() {
+        assert_eq!(
+            Attack::Blackhole { victim_host: HostId(1) }.label(),
+            "blackhole"
+        );
+        let s = ScheduledAttack::persistent(
+            Attack::Blackhole { victim_host: HostId(1) },
+            SimTime::from_millis(5),
+        );
+        assert!(s.flapping.is_none());
+        let f = ScheduledAttack::flapping(
+            Attack::Blackhole { victim_host: HostId(1) },
+            SimTime::from_millis(5),
+            Flapping {
+                active: SimTime::from_millis(1),
+                period: SimTime::from_millis(10),
+                repetitions: 3,
+            },
+        );
+        assert_eq!(f.flapping.unwrap().repetitions, 3);
+    }
+
+    #[test]
+    fn attacks_against_unknown_hosts_compile_to_nothing() {
+        let topo = generators::line(3, 1);
+        assert!(Attack::Join {
+            attacker_host: HostId(99),
+            victim_client: ClientId(1)
+        }
+        .compile(&topo)
+        .is_empty());
+        assert!(Attack::Blackhole {
+            victim_host: HostId(99)
+        }
+        .compile(&topo)
+        .is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # rvaas-controlplane
+//!
+//! The provider's network management system / SDN control plane, together
+//! with the adversary that may have compromised it.
+//!
+//! In the paper's threat model (Section III) "an external attacker which
+//! compromised the network management or control plane … aims to change the
+//! data plane configuration, e.g., to divert client traffic to unsupervised
+//! access points or through undesired jurisdiction". This crate provides:
+//!
+//! * [`routing`] — the *benign* behaviour: per-client isolated, shortest-path
+//!   destination routing, installed through ordinary Flow-Mods.
+//! * [`attack`] — the attack catalogue: join attacks (secretly added access
+//!   points), geographic diversion, traffic exfiltration (mirroring),
+//!   blackholing, short-term reconfiguration (flapping) attacks, and
+//!   network-neutrality violations via discriminatory meters.
+//! * [`controller`] — the [`ProviderController`], a
+//!   [`ControllerApp`](rvaas_netsim::ControllerApp) that installs the benign
+//!   configuration at start-up and executes a scheduled attack plan — i.e. a
+//!   compromised control plane issuing perfectly legitimate-looking OpenFlow
+//!   commands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod controller;
+pub mod routing;
+
+pub use attack::{Attack, ScheduledAttack};
+pub use controller::ProviderController;
+pub use routing::{benign_rules, ATTACK_COOKIE, BENIGN_COOKIE};

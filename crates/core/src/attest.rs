@@ -1,0 +1,109 @@
+//! Attestation of the RVaaS controller identity.
+//!
+//! "Through attestation, the client can verify that RVaaS is the one that
+//! securely responds to its queries. Moreover, the provider makes sure that
+//! the correct RVaaS application is operating on the server, and not a fake
+//! one that may leak sensitive information" (paper Section IV-A).
+//!
+//! The controller runs inside a (simulated) enclave; its long-term signing
+//! key is bound to the enclave measurement via a quote. Clients and the
+//! provider hold the *golden measurement* of the genuine RVaaS image and the
+//! platform's quoting key, and accept the controller's public key only if the
+//! quote verifies.
+
+use rvaas_crypto::PublicKey;
+use rvaas_enclave::{verify_quote, Measurement, Platform, Quote};
+use rvaas_types::{Error, Result};
+
+/// The canonical RVaaS code image. In a real deployment this would be the
+/// enclave binary; here it is a stand-in whose hash plays the role of the
+/// golden measurement everyone pins.
+pub const RVAAS_IMAGE: &[u8] = b"rvaas-verification-controller image v1.0";
+
+/// The golden measurement of the genuine RVaaS image.
+#[must_use]
+pub fn golden_measurement() -> Measurement {
+    Measurement::of_image(RVAAS_IMAGE)
+}
+
+/// The attested identity of an RVaaS deployment: its verification key plus
+/// the quote binding that key to the enclave measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttestedIdentity {
+    /// The RVaaS verification key clients should use.
+    pub public_key: PublicKey,
+    /// Quote binding the key fingerprint to the enclave measurement.
+    pub quote: Quote,
+}
+
+impl AttestedIdentity {
+    /// Produces the attested identity by loading `image` into an enclave on
+    /// `platform` and quoting the controller's public-key fingerprint.
+    #[must_use]
+    pub fn attest(platform: &Platform, image: &[u8], public_key: PublicKey) -> Self {
+        let enclave = platform.load_enclave(image);
+        let quote = enclave.quote(public_key.fingerprint().as_bytes());
+        AttestedIdentity { public_key, quote }
+    }
+
+    /// Verifies the identity against the platform quoting key and the golden
+    /// RVaaS measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AttestationFailed`] if the quote does not verify, the
+    /// measurement is not the golden one, or the quote does not cover this
+    /// public key.
+    pub fn verify(&self, quoting_key: &PublicKey) -> Result<()> {
+        verify_quote(&self.quote, quoting_key, golden_measurement())?;
+        if self.quote.report_data != self.public_key.fingerprint().as_bytes() {
+            return Err(Error::AttestationFailed(
+                "quote does not cover the presented public key".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_crypto::{Keypair, SignatureScheme};
+
+    #[test]
+    fn genuine_identity_verifies() {
+        let platform = Platform::new(11);
+        let kp = Keypair::generate(SignatureScheme::HmacOracle, 12);
+        let identity = AttestedIdentity::attest(&platform, RVAAS_IMAGE, kp.public_key());
+        assert!(identity.verify(&platform.quoting_public_key()).is_ok());
+    }
+
+    #[test]
+    fn tampered_image_is_rejected() {
+        let platform = Platform::new(11);
+        let kp = Keypair::generate(SignatureScheme::HmacOracle, 12);
+        let identity =
+            AttestedIdentity::attest(&platform, b"backdoored rvaas image", kp.public_key());
+        assert!(identity.verify(&platform.quoting_public_key()).is_err());
+    }
+
+    #[test]
+    fn key_substitution_is_rejected() {
+        // An attacker reuses a genuine quote but presents their own key.
+        let platform = Platform::new(11);
+        let genuine = Keypair::generate(SignatureScheme::HmacOracle, 12);
+        let attacker = Keypair::generate(SignatureScheme::HmacOracle, 13);
+        let mut identity = AttestedIdentity::attest(&platform, RVAAS_IMAGE, genuine.public_key());
+        identity.public_key = attacker.public_key();
+        assert!(identity.verify(&platform.quoting_public_key()).is_err());
+    }
+
+    #[test]
+    fn wrong_platform_key_is_rejected() {
+        let platform = Platform::new(11);
+        let other = Platform::new(99);
+        let kp = Keypair::generate(SignatureScheme::HmacOracle, 12);
+        let identity = AttestedIdentity::attest(&platform, RVAAS_IMAGE, kp.public_key());
+        assert!(identity.verify(&other.quoting_public_key()).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! The configuration snapshot maintained by the RVaaS monitor.
+//!
+//! A [`NetworkSnapshot`] is RVaaS's current belief about the data-plane
+//! configuration: one flow table per switch, acquired exclusively through the
+//! authenticated control channel (never by trusting the provider's
+//! controller). It also keeps a bounded history of recently *removed* entries
+//! so that verification can optionally consider rules that existed in the
+//! recent past — the defence the paper sketches against "short term
+//! reconfiguration attacks" (Section IV-A).
+
+use std::collections::BTreeMap;
+
+use rvaas_hsa::NetworkFunction;
+use rvaas_openflow::FlowEntry;
+use rvaas_topology::Topology;
+use rvaas_types::{SimTime, SwitchId};
+
+/// A recently removed flow entry, kept for history-based verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedEntry {
+    /// The switch the entry was removed from.
+    pub switch: SwitchId,
+    /// The removed entry.
+    pub entry: FlowEntry,
+    /// When the removal was observed.
+    pub removed_at: SimTime,
+}
+
+/// RVaaS's view of the network configuration.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkSnapshot {
+    tables: BTreeMap<SwitchId, Vec<FlowEntry>>,
+    removed: Vec<RemovedEntry>,
+    /// Time of the last update applied to the snapshot.
+    last_update: SimTime,
+    /// How long removed entries are retained for history-based checks.
+    history_window: SimTime,
+}
+
+impl NetworkSnapshot {
+    /// Creates an empty snapshot with the given history retention window.
+    #[must_use]
+    pub fn new(history_window: SimTime) -> Self {
+        NetworkSnapshot {
+            history_window,
+            ..NetworkSnapshot::default()
+        }
+    }
+
+    /// Time of the most recent update.
+    #[must_use]
+    pub fn last_update(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Total number of entries currently believed installed.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.tables.values().map(Vec::len).sum()
+    }
+
+    /// Number of removed entries currently retained in history.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Records that `entry` is installed on `switch` (add or modify).
+    pub fn record_installed(&mut self, switch: SwitchId, entry: FlowEntry, at: SimTime) {
+        let table = self.tables.entry(switch).or_default();
+        if let Some(existing) = table
+            .iter_mut()
+            .find(|e| e.priority == entry.priority && e.flow_match == entry.flow_match)
+        {
+            *existing = entry;
+        } else {
+            table.push(entry);
+        }
+        self.touch(at);
+    }
+
+    /// Records that `entry` was removed from `switch`.
+    pub fn record_removed(&mut self, switch: SwitchId, entry: &FlowEntry, at: SimTime) {
+        if let Some(table) = self.tables.get_mut(&switch) {
+            table.retain(|e| !(e.priority == entry.priority && e.flow_match == entry.flow_match));
+        }
+        self.removed.push(RemovedEntry {
+            switch,
+            entry: entry.clone(),
+            removed_at: at,
+        });
+        self.touch(at);
+    }
+
+    /// Replaces the entire table of `switch` (the result of an active poll).
+    /// Entries that disappear relative to the previous belief are moved to
+    /// history.
+    pub fn record_full_table(&mut self, switch: SwitchId, entries: Vec<FlowEntry>, at: SimTime) {
+        if let Some(old) = self.tables.get(&switch) {
+            for old_entry in old {
+                let still_there = entries
+                    .iter()
+                    .any(|e| e.priority == old_entry.priority && e.flow_match == old_entry.flow_match);
+                if !still_there {
+                    self.removed.push(RemovedEntry {
+                        switch,
+                        entry: old_entry.clone(),
+                        removed_at: at,
+                    });
+                }
+            }
+        }
+        self.tables.insert(switch, entries);
+        self.touch(at);
+    }
+
+    fn touch(&mut self, at: SimTime) {
+        self.last_update = self.last_update.max(at);
+        let cutoff = self.last_update.saturating_sub(self.history_window);
+        self.removed.retain(|r| r.removed_at >= cutoff);
+    }
+
+    /// The entries RVaaS believes are installed on `switch`.
+    #[must_use]
+    pub fn table_of(&self, switch: SwitchId) -> &[FlowEntry] {
+        self.tables.get(&switch).map_or(&[], Vec::as_slice)
+    }
+
+    /// Builds the HSA network function for the *current* belief, wiring taken
+    /// from the trusted topology.
+    #[must_use]
+    pub fn to_network_function(&self, topology: &Topology) -> NetworkFunction {
+        self.build_function(topology, false)
+    }
+
+    /// Builds the HSA network function for the current belief *plus* every
+    /// rule removed within the history window (used to defeat flapping
+    /// attacks: a rule that existed recently is still considered).
+    #[must_use]
+    pub fn to_network_function_with_history(&self, topology: &Topology) -> NetworkFunction {
+        self.build_function(topology, true)
+    }
+
+    fn build_function(&self, topology: &Topology, include_history: bool) -> NetworkFunction {
+        let mut nf = NetworkFunction::new();
+        for sw in topology.switches() {
+            nf.declare_switch(sw.id, sw.ports.clone());
+        }
+        for link in topology.links() {
+            nf.connect(link.a, link.b);
+        }
+        for sw in topology.switches() {
+            let mut rules: Vec<rvaas_hsa::RuleTransfer> = self
+                .table_of(sw.id)
+                .iter()
+                .map(FlowEntry::to_rule_transfer)
+                .collect();
+            if include_history {
+                rules.extend(
+                    self.removed
+                        .iter()
+                        .filter(|r| r.switch == sw.id)
+                        .map(|r| r.entry.to_rule_transfer()),
+                );
+            }
+            nf.set_transfer(sw.id, rvaas_hsa::SwitchTransfer::from_rules(rules));
+        }
+        nf
+    }
+
+    /// Counts how many entries of the snapshot differ from a reference table
+    /// set (used by experiments to measure snapshot divergence from ground
+    /// truth). Returns `(missing, stale)`: rules present in the reference but
+    /// not the snapshot, and vice versa.
+    #[must_use]
+    pub fn divergence_from(&self, reference: &BTreeMap<SwitchId, Vec<FlowEntry>>) -> (usize, usize) {
+        let mut missing = 0;
+        let mut stale = 0;
+        let same = |a: &FlowEntry, b: &FlowEntry| {
+            a.priority == b.priority && a.flow_match == b.flow_match && a.actions == b.actions
+        };
+        for (switch, ref_table) in reference {
+            let snap_table = self.table_of(*switch);
+            for r in ref_table {
+                if !snap_table.iter().any(|s| same(s, r)) {
+                    missing += 1;
+                }
+            }
+            for s in snap_table {
+                if !ref_table.iter().any(|r| same(s, r)) {
+                    stale += 1;
+                }
+            }
+        }
+        // Tables for switches absent from the reference are entirely stale.
+        for (switch, snap_table) in &self.tables {
+            if !reference.contains_key(switch) {
+                stale += snap_table.len();
+            }
+        }
+        (missing, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_openflow::{Action, FlowMatch};
+    use rvaas_topology::generators;
+    use rvaas_types::PortId;
+
+    fn entry(dst: u32, port: u32) -> FlowEntry {
+        FlowEntry::new(
+            10,
+            FlowMatch::to_ip(dst),
+            vec![Action::Output(PortId(port))],
+        )
+    }
+
+    #[test]
+    fn install_modify_remove_lifecycle() {
+        let mut snap = NetworkSnapshot::new(SimTime::from_secs(1));
+        snap.record_installed(SwitchId(1), entry(5, 1), SimTime::from_millis(1));
+        assert_eq!(snap.rule_count(), 1);
+        // Same match/priority replaces.
+        snap.record_installed(SwitchId(1), entry(5, 2), SimTime::from_millis(2));
+        assert_eq!(snap.rule_count(), 1);
+        assert_eq!(snap.table_of(SwitchId(1))[0].actions, vec![Action::Output(PortId(2))]);
+        // Removal moves the entry to history.
+        let removed = entry(5, 2);
+        snap.record_removed(SwitchId(1), &removed, SimTime::from_millis(3));
+        assert_eq!(snap.rule_count(), 0);
+        assert_eq!(snap.history_len(), 1);
+        assert_eq!(snap.last_update(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn history_expires_outside_window() {
+        let mut snap = NetworkSnapshot::new(SimTime::from_millis(10));
+        snap.record_installed(SwitchId(1), entry(5, 1), SimTime::from_millis(1));
+        snap.record_removed(SwitchId(1), &entry(5, 1), SimTime::from_millis(2));
+        assert_eq!(snap.history_len(), 1);
+        // An update far in the future expires the history entry.
+        snap.record_installed(SwitchId(1), entry(6, 1), SimTime::from_millis(50));
+        assert_eq!(snap.history_len(), 0);
+    }
+
+    #[test]
+    fn full_table_poll_detects_silent_removals() {
+        let mut snap = NetworkSnapshot::new(SimTime::from_secs(1));
+        snap.record_installed(SwitchId(1), entry(5, 1), SimTime::from_millis(1));
+        snap.record_installed(SwitchId(1), entry(6, 1), SimTime::from_millis(1));
+        // The poll only reports the rule for dst 6: dst 5 must move to history.
+        snap.record_full_table(SwitchId(1), vec![entry(6, 1)], SimTime::from_millis(5));
+        assert_eq!(snap.rule_count(), 1);
+        assert_eq!(snap.history_len(), 1);
+    }
+
+    #[test]
+    fn network_function_with_and_without_history() {
+        let topo = generators::line(2, 1);
+        let mut snap = NetworkSnapshot::new(SimTime::from_secs(1));
+        snap.record_installed(SwitchId(1), entry(5, 1), SimTime::from_millis(1));
+        snap.record_removed(SwitchId(1), &entry(5, 1), SimTime::from_millis(2));
+        let current = snap.to_network_function(&topo);
+        let with_history = snap.to_network_function_with_history(&topo);
+        assert_eq!(current.rule_count(), 0);
+        assert_eq!(with_history.rule_count(), 1);
+        assert_eq!(current.switch_count(), 2);
+    }
+
+    #[test]
+    fn divergence_counts_missing_and_stale() {
+        let mut snap = NetworkSnapshot::new(SimTime::from_secs(1));
+        snap.record_installed(SwitchId(1), entry(5, 1), SimTime::from_millis(1));
+        snap.record_installed(SwitchId(2), entry(7, 1), SimTime::from_millis(1));
+        let mut reference = BTreeMap::new();
+        reference.insert(SwitchId(1), vec![entry(5, 1), entry(6, 1)]);
+        // Reference: s1 has {5,6}; snapshot has s1 {5}, s2 {7}.
+        let (missing, stale) = snap.divergence_from(&reference);
+        assert_eq!(missing, 1, "rule for dst 6 is missing from the snapshot");
+        assert_eq!(stale, 1, "rule on s2 is not in the reference");
+        // Identical tables diverge by zero.
+        let mut reference2 = BTreeMap::new();
+        reference2.insert(SwitchId(1), vec![entry(5, 1)]);
+        reference2.insert(SwitchId(2), vec![entry(7, 1)]);
+        assert_eq!(snap.divergence_from(&reference2), (0, 0));
+    }
+}

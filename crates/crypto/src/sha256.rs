@@ -1,0 +1,372 @@
+//! SHA-256 (FIPS 180-4).
+//!
+//! A straightforward, dependency-free implementation of the SHA-256
+//! compression function and Merkle–Damgård padding. Performance is adequate
+//! for simulation purposes (tens of millions of compressions per second are
+//! not needed); correctness is checked against the NIST test vectors in the
+//! unit tests below.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-byte SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Returns the digest bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Returns the digest as a lowercase hex string.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    #[must_use]
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        if hex.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let s = std::str::from_utf8(chunk).ok()?;
+            out[i] = u8::from_str_radix(s, 16).ok()?;
+        }
+        Some(Digest(out))
+    }
+
+    /// XOR-combines two digests (used to mix independent measurements).
+    #[must_use]
+    pub fn xor(&self, other: &Digest) -> Digest {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = self.0[i] ^ other.0[i];
+        }
+        Digest(out)
+    }
+
+    /// Truncates the digest to a `u64` (big-endian prefix); convenient for
+    /// deriving deterministic simulation values from hashes.
+    #[must_use]
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", &self.to_hex()[..16])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// # use rvaas_crypto::sha256::Sha256;
+/// let mut hasher = Sha256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// let digest = hasher.finalize();
+/// assert_eq!(digest, rvaas_crypto::sha256::digest(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        // Fill an existing partial block first.
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while input.len() >= 64 {
+            let block: [u8; 64] = input[..64].try_into().expect("64-byte block");
+            self.compress(&block);
+            input = &input[64..];
+        }
+        // Stash the remainder.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finishes hashing and returns the digest.
+    #[must_use]
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zero padding then the 64-bit length.
+        self.update_padding();
+        let mut length_block = [0u8; 8];
+        length_block.copy_from_slice(&bit_len.to_be_bytes());
+        // After update_padding the buffer has exactly 56 bytes pending.
+        self.buffer[56..64].copy_from_slice(&length_block);
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_padding(&mut self) {
+        // Write 0x80 and zeros until buffer_len == 56 (mod 64), compressing
+        // a full block if the padding does not fit.
+        self.buffer[self.buffer_len] = 0x80;
+        self.buffer_len += 1;
+        if self.buffer_len > 56 {
+            for b in &mut self.buffer[self.buffer_len..] {
+                *b = 0;
+            }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer_len = 0;
+        }
+        for b in &mut self.buffer[self.buffer_len..56] {
+            *b = 0;
+        }
+        self.buffer_len = 56;
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hashes `data` in one shot.
+///
+/// # Example
+///
+/// ```
+/// let d = rvaas_crypto::sha256::digest(b"abc");
+/// assert!(d.to_hex().starts_with("ba7816bf"));
+/// ```
+#[must_use]
+pub fn digest(data: &[u8]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// Hashes the concatenation of several byte slices.
+#[must_use]
+pub fn digest_parts(parts: &[&[u8]]) -> Digest {
+    let mut hasher = Sha256::new();
+    for part in parts {
+        hasher.update(part);
+    }
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // NIST FIPS 180-4 / classic test vectors.
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            digest(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            digest(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            digest(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary_lengths() {
+        // 55, 56, 63, 64, 65 bytes exercise all padding branches.
+        for len in [55usize, 56, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0x42u8; len];
+            let one_shot = digest(&data);
+            let mut incremental = Sha256::new();
+            for chunk in data.chunks(7) {
+                incremental.update(chunk);
+            }
+            assert_eq!(one_shot, incremental.finalize(), "length {len}");
+        }
+    }
+
+    #[test]
+    fn digest_parts_equals_concatenation() {
+        let d1 = digest_parts(&[b"hello ", b"world"]);
+        let d2 = digest(b"hello world");
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn hex_roundtrip_and_helpers() {
+        let d = digest(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(63)), None);
+        let zero = Digest::default();
+        assert_eq!(d.xor(&zero), d);
+        assert_eq!(d.xor(&d), zero);
+        assert_eq!(zero.prefix_u64(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                            split in 0usize..2048) {
+            let one = digest(&data);
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(one, h.finalize());
+        }
+
+        #[test]
+        fn prop_different_inputs_different_digests(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                                   b in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(digest(&a), digest(&b));
+        }
+    }
+}

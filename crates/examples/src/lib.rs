@@ -1,0 +1,117 @@
+//! # rvaas-examples
+//!
+//! Runnable example applications exercising the RVaaS public API end to end.
+//! The binaries live under `examples/` of this crate:
+//!
+//! * `quickstart` — the Figure 1/2 protocol walk-through on a small fabric:
+//!   a client sends an integrity request, RVaaS intercepts it, analyses the
+//!   snapshot, runs the authentication round and returns a signed reply.
+//! * `isolation_audit` — a multi-tenant datacenter scenario: a compromised
+//!   control plane mounts a join attack; the victim's periodic isolation
+//!   audits detect it while traceroute-style probing stays blind.
+//! * `geo_compliance` — a jurisdiction-compliance scenario: traffic is
+//!   diverted through a forbidden region and the client's geo-location query
+//!   reveals it, under different location-knowledge sources.
+//!
+//! Run them with `cargo run -p rvaas-examples --example <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rvaas_client::{QueryReply, QueryResult};
+
+/// Pretty-prints a query reply for the example binaries.
+#[must_use]
+pub fn describe_reply(reply: &QueryReply) -> String {
+    let body = match &reply.result {
+        QueryResult::Endpoints { endpoints } => format!(
+            "{} reachable endpoint(s): {}",
+            endpoints.len(),
+            endpoints
+                .iter()
+                .map(|e| format!(
+                    "{}.{}.{}.{} ({}, {})",
+                    e.ip >> 24 & 0xff,
+                    e.ip >> 16 & 0xff,
+                    e.ip >> 8 & 0xff,
+                    e.ip & 0xff,
+                    e.client,
+                    if e.authenticated { "authenticated" } else { "silent" }
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        QueryResult::Sources { sources } => format!("{} reaching source(s)", sources.len()),
+        QueryResult::IsolationStatus {
+            isolated,
+            foreign_endpoints,
+        } => {
+            if *isolated {
+                "sub-network is ISOLATED".to_string()
+            } else {
+                format!(
+                    "ISOLATION VIOLATED by {} foreign endpoint(s)",
+                    foreign_endpoints.len()
+                )
+            }
+        }
+        QueryResult::Regions { regions } => format!("traffic may traverse: {}", regions.join(", ")),
+        QueryResult::PathLength {
+            min_hops,
+            max_hops,
+            reachable,
+        } => {
+            if *reachable {
+                format!("paths of {min_hops}..{max_hops} switch hops")
+            } else {
+                "destination unreachable".to_string()
+            }
+        }
+        QueryResult::Neutrality { fair, violations } => {
+            if *fair {
+                "traffic treated neutrally".to_string()
+            } else {
+                format!("{} neutrality violation(s)", violations.len())
+            }
+        }
+        QueryResult::Rejected { reason } => format!("query rejected: {reason}"),
+    };
+    format!(
+        "query {} -> {} [auth {}/{} answered]",
+        reply.query, body, reply.auth_replies_received, reply.auth_requests_sent
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_crypto::{Keypair, SignatureScheme};
+    use rvaas_types::QueryId;
+
+    #[test]
+    fn describe_reply_covers_result_variants() {
+        let mut kp = Keypair::generate(SignatureScheme::HmacOracle, 1);
+        let sig = kp.sign(b"x").unwrap();
+        let mk = |result| QueryReply {
+            query: QueryId(1),
+            nonce: 1,
+            result,
+            auth_requests_sent: 2,
+            auth_replies_received: 1,
+            signature: sig.clone(),
+        };
+        assert!(describe_reply(&mk(QueryResult::Regions {
+            regions: vec!["EU".into()]
+        }))
+        .contains("EU"));
+        assert!(describe_reply(&mk(QueryResult::IsolationStatus {
+            isolated: true,
+            foreign_endpoints: vec![]
+        }))
+        .contains("ISOLATED"));
+        assert!(describe_reply(&mk(QueryResult::Rejected {
+            reason: "nope".into()
+        }))
+        .contains("rejected"));
+    }
+}

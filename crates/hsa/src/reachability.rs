@@ -1,0 +1,468 @@
+//! Reachability and trajectory analysis over a [`NetworkFunction`].
+//!
+//! Given an injection point (an edge port) and an initial header space, the
+//! engine propagates the space through switch transfer functions and internal
+//! links, producing:
+//!
+//! * every **edge port** the traffic can exit through, with the exact header
+//!   space that reaches it and the switch-level path taken (one
+//!   [`ReachedEndpoint`] per distinct path);
+//! * every point where traffic is **delivered to the controller**;
+//! * **loop reports** for traffic that revisits a switch it has already
+//!   traversed with an overlapping header space.
+//!
+//! This is the engine RVaaS uses for its logical verification step: isolation
+//! queries look at which edge ports are reached, geo queries look at the
+//! switches on the paths, and avoidance queries check that a given space
+//! reaches *no* endpoint outside an allowed set.
+
+use serde::{Deserialize, Serialize};
+
+use rvaas_types::{PortId, SwitchId, SwitchPort};
+
+use crate::space::HeaderSpace;
+use crate::transfer::NetworkFunction;
+
+/// Tunables bounding the reachability computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachabilityOptions {
+    /// Maximum number of switch traversals along a single path before the
+    /// branch is cut (guards against state explosion in pathological rule
+    /// sets; loops are reported separately).
+    pub max_hops: usize,
+    /// Maximum number of cubes a propagated header space may hold before the
+    /// branch is cut and counted in [`ReachabilityResult::truncated_branches`].
+    pub max_cubes: usize,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions {
+            max_hops: 64,
+            max_cubes: 4096,
+        }
+    }
+}
+
+/// Traffic that can leave the network at an edge port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReachedEndpoint {
+    /// The edge port the traffic exits through.
+    pub egress: SwitchPort,
+    /// The header space that reaches the port along this path.
+    pub space: HeaderSpace,
+    /// Switches traversed, in order (including the egress switch).
+    pub path: Vec<SwitchId>,
+}
+
+impl ReachedEndpoint {
+    /// Number of switches traversed.
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// Traffic delivered to the controller (Packet-In) during propagation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerDelivery {
+    /// Switch that punts the traffic.
+    pub switch: SwitchId,
+    /// Header space delivered to the controller.
+    pub space: HeaderSpace,
+    /// Path taken up to and including the punting switch.
+    pub path: Vec<SwitchId>,
+}
+
+/// A forwarding loop detected during propagation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopReport {
+    /// Switch that is visited twice.
+    pub switch: SwitchId,
+    /// Path from injection up to the repeated visit.
+    pub path: Vec<SwitchId>,
+    /// Header space still alive when the loop was closed.
+    pub space: HeaderSpace,
+}
+
+/// The full result of a reachability computation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReachabilityResult {
+    /// Edge ports reached (one entry per distinct path).
+    pub endpoints: Vec<ReachedEndpoint>,
+    /// Controller deliveries.
+    pub to_controller: Vec<ControllerDelivery>,
+    /// Detected forwarding loops.
+    pub loops: Vec<LoopReport>,
+    /// Number of branches cut due to `max_hops` / `max_cubes` limits.
+    pub truncated_branches: usize,
+}
+
+impl ReachabilityResult {
+    /// Distinct egress ports reached, de-duplicated.
+    #[must_use]
+    pub fn reached_ports(&self) -> Vec<SwitchPort> {
+        let mut ports: Vec<SwitchPort> = self.endpoints.iter().map(|e| e.egress).collect();
+        ports.sort();
+        ports.dedup();
+        ports
+    }
+
+    /// All switches that appear on any path (for geo-location queries).
+    #[must_use]
+    pub fn traversed_switches(&self) -> Vec<SwitchId> {
+        let mut switches: Vec<SwitchId> = self
+            .endpoints
+            .iter()
+            .flat_map(|e| e.path.iter().copied())
+            .chain(self.loops.iter().flat_map(|l| l.path.iter().copied()))
+            .chain(
+                self.to_controller
+                    .iter()
+                    .flat_map(|c| c.path.iter().copied()),
+            )
+            .collect();
+        switches.sort();
+        switches.dedup();
+        switches
+    }
+
+    /// Length of the shortest and longest path to any endpoint, if reachable.
+    #[must_use]
+    pub fn path_length_bounds(&self) -> Option<(usize, usize)> {
+        let lengths: Vec<usize> = self.endpoints.iter().map(ReachedEndpoint::hop_count).collect();
+        let min = lengths.iter().copied().min()?;
+        let max = lengths.iter().copied().max()?;
+        Some((min, max))
+    }
+
+    /// The combined header space that can reach a given egress port.
+    #[must_use]
+    pub fn space_reaching(&self, port: SwitchPort) -> HeaderSpace {
+        self.endpoints
+            .iter()
+            .filter(|e| e.egress == port)
+            .fold(HeaderSpace::empty(), |acc, e| acc.union(&e.space))
+    }
+}
+
+/// The reachability engine; borrows a [`NetworkFunction`] snapshot.
+#[derive(Debug, Clone)]
+pub struct ReachabilityEngine<'a> {
+    network: &'a NetworkFunction,
+    options: ReachabilityOptions,
+}
+
+struct WorkItem {
+    switch: SwitchId,
+    in_port: PortId,
+    space: HeaderSpace,
+    path: Vec<SwitchId>,
+}
+
+impl<'a> ReachabilityEngine<'a> {
+    /// Creates an engine over `network` with default options.
+    #[must_use]
+    pub fn new(network: &'a NetworkFunction) -> Self {
+        ReachabilityEngine {
+            network,
+            options: ReachabilityOptions::default(),
+        }
+    }
+
+    /// Creates an engine with explicit options.
+    #[must_use]
+    pub fn with_options(network: &'a NetworkFunction, options: ReachabilityOptions) -> Self {
+        ReachabilityEngine { network, options }
+    }
+
+    /// Computes everything reachable from traffic injected at edge port
+    /// `ingress` with headers in `space`.
+    #[must_use]
+    pub fn reachable_from(&self, ingress: SwitchPort, space: HeaderSpace) -> ReachabilityResult {
+        let mut result = ReachabilityResult::default();
+        if space.is_empty() {
+            return result;
+        }
+        let mut queue = vec![WorkItem {
+            switch: ingress.switch,
+            in_port: ingress.port,
+            space,
+            path: Vec::new(),
+        }];
+
+        while let Some(item) = queue.pop() {
+            if item.path.len() >= self.options.max_hops
+                || item.space.cube_count() > self.options.max_cubes
+            {
+                result.truncated_branches += 1;
+                continue;
+            }
+            // Loop detection: a switch revisited along the same path.
+            if item.path.contains(&item.switch) {
+                result.loops.push(LoopReport {
+                    switch: item.switch,
+                    path: item.path.clone(),
+                    space: item.space.clone(),
+                });
+                continue;
+            }
+            let Some(transfer) = self.network.transfer(item.switch) else {
+                // Unknown switch: treat as dropping everything.
+                continue;
+            };
+            let mut path = item.path.clone();
+            path.push(item.switch);
+
+            for out in transfer.apply(item.in_port, &item.space) {
+                if out.space.is_empty() {
+                    continue;
+                }
+                if out.to_controller {
+                    result.to_controller.push(ControllerDelivery {
+                        switch: item.switch,
+                        space: out.space,
+                        path: path.clone(),
+                    });
+                    continue;
+                }
+                let Some(out_port) = out.out_port else {
+                    // Dropped traffic: nothing to record for reachability.
+                    continue;
+                };
+                let egress = SwitchPort::new(item.switch, out_port);
+                match self.network.link_peer(egress) {
+                    Some(peer) => queue.push(WorkItem {
+                        switch: peer.switch,
+                        in_port: peer.port,
+                        space: out.space,
+                        path: path.clone(),
+                    }),
+                    None => result.endpoints.push(ReachedEndpoint {
+                        egress,
+                        space: out.space,
+                        path: path.clone(),
+                    }),
+                }
+            }
+        }
+        result
+    }
+
+    /// Convenience: the set of edge ports reachable from `ingress` for any
+    /// header in `space`.
+    #[must_use]
+    pub fn reachable_edge_ports(&self, ingress: SwitchPort, space: HeaderSpace) -> Vec<SwitchPort> {
+        self.reachable_from(ingress, space).reached_ports()
+    }
+
+    /// Computes which ingress edge ports can deliver traffic *to* the given
+    /// egress port (the "which sources can reach me" query), by running the
+    /// forward analysis from every other edge port.
+    #[must_use]
+    pub fn sources_reaching(&self, egress: SwitchPort, space: &HeaderSpace) -> Vec<SwitchPort> {
+        let mut sources = Vec::new();
+        for ingress in self.network.all_edge_ports() {
+            if ingress == egress {
+                continue;
+            }
+            let result = self.reachable_from(ingress, space.clone());
+            if result
+                .endpoints
+                .iter()
+                .any(|e| e.egress == egress && !e.space.is_empty())
+            {
+                sources.push(ingress);
+            }
+        }
+        sources.sort();
+        sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+    use crate::transfer::{RuleAction, RuleTransfer, SwitchTransfer};
+    use rvaas_types::{Field, Header};
+
+    fn dst_match(dst: u32) -> Cube {
+        Cube::wildcard().with_field(Field::IpDst, u64::from(dst))
+    }
+
+    fn sp(s: u32, p: u32) -> SwitchPort {
+        SwitchPort::new(SwitchId(s), PortId(p))
+    }
+
+    /// Builds a 3-switch line: h1 -- s1 -- s2 -- s3 -- h2
+    /// Port 1 of s1 and port 2 of s3 are edge ports.
+    /// All switches forward dst=2 towards s3 and dst=1 towards s1.
+    fn line_network() -> NetworkFunction {
+        let mut nf = NetworkFunction::new();
+        for s in 1..=3u32 {
+            nf.declare_switch(SwitchId(s), [PortId(1), PortId(2)]);
+        }
+        nf.connect(sp(1, 2), sp(2, 1));
+        nf.connect(sp(2, 2), sp(3, 1));
+        for s in 1..=3u32 {
+            nf.set_transfer(
+                SwitchId(s),
+                SwitchTransfer::from_rules([
+                    RuleTransfer::new(10, dst_match(2), RuleAction::forward(PortId(2))),
+                    RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(1))),
+                ]),
+            );
+        }
+        nf
+    }
+
+    #[test]
+    fn line_reachability_end_to_end() {
+        let nf = line_network();
+        let engine = ReachabilityEngine::new(&nf);
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::all());
+        // Traffic to dst=2 exits at s3:p2; traffic to dst=1 bounces straight
+        // back out of s1:p1.
+        let ports = result.reached_ports();
+        assert!(ports.contains(&sp(3, 2)), "ports: {ports:?}");
+        assert!(ports.contains(&sp(1, 1)), "ports: {ports:?}");
+        let to_h2 = result.space_reaching(sp(3, 2));
+        assert!(to_h2.contains(&Header::builder().ip_dst(2).build()));
+        assert!(!to_h2.contains(&Header::builder().ip_dst(1).build()));
+        // The path to h2 is s1 -> s2 -> s3.
+        let ep = result
+            .endpoints
+            .iter()
+            .find(|e| e.egress == sp(3, 2))
+            .unwrap();
+        assert_eq!(ep.path, vec![SwitchId(1), SwitchId(2), SwitchId(3)]);
+        assert_eq!(ep.hop_count(), 3);
+        assert!(result.loops.is_empty());
+        assert_eq!(result.truncated_branches, 0);
+    }
+
+    #[test]
+    fn unmatched_traffic_is_not_reported_as_reached() {
+        let nf = line_network();
+        let engine = ReachabilityEngine::new(&nf);
+        // dst=3 matches no rule anywhere -> dropped at s1, reaches nothing.
+        let space = HeaderSpace::from(dst_match(3));
+        let result = engine.reachable_from(sp(1, 1), space);
+        assert!(result.endpoints.is_empty());
+    }
+
+    #[test]
+    fn empty_input_space_reaches_nothing() {
+        let nf = line_network();
+        let engine = ReachabilityEngine::new(&nf);
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::empty());
+        assert!(result.endpoints.is_empty());
+        assert!(result.loops.is_empty());
+    }
+
+    #[test]
+    fn controller_bound_traffic_is_reported() {
+        let mut nf = line_network();
+        // s2 punts dst=2 traffic with l4_dst 9999 to the controller.
+        let mut t = nf.transfer(SwitchId(2)).unwrap().clone();
+        t.add_rule(RuleTransfer::new(
+            100,
+            Cube::wildcard().with_field(Field::L4Dst, 9999),
+            RuleAction::ToController,
+        ));
+        nf.set_transfer(SwitchId(2), t);
+        let engine = ReachabilityEngine::new(&nf);
+        let probe = Header::builder().ip_dst(2).l4_dst(9999).build();
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::singleton(&probe));
+        assert_eq!(result.to_controller.len(), 1);
+        assert_eq!(result.to_controller[0].switch, SwitchId(2));
+        assert_eq!(result.to_controller[0].path, vec![SwitchId(1), SwitchId(2)]);
+        assert!(result.endpoints.is_empty());
+    }
+
+    #[test]
+    fn forwarding_loop_is_detected() {
+        // Two switches forwarding dst=5 to each other forever.
+        let mut nf = NetworkFunction::new();
+        nf.declare_switch(SwitchId(1), [PortId(1), PortId(2)]);
+        nf.declare_switch(SwitchId(2), [PortId(1), PortId(2)]);
+        nf.connect(sp(1, 2), sp(2, 1));
+        nf.connect(sp(1, 1), sp(2, 2));
+        let fwd = |port| {
+            SwitchTransfer::from_rules([RuleTransfer::new(
+                10,
+                dst_match(5),
+                RuleAction::forward(PortId(port)),
+            )])
+        };
+        nf.set_transfer(SwitchId(1), fwd(2));
+        nf.set_transfer(SwitchId(2), fwd(2));
+        // There are no edge ports (fully wired); inject directly at s1:p1.
+        let engine = ReachabilityEngine::new(&nf);
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::from(dst_match(5)));
+        assert!(!result.loops.is_empty(), "loop must be reported");
+        assert!(result.endpoints.is_empty());
+    }
+
+    #[test]
+    fn traversed_switches_and_path_bounds() {
+        let nf = line_network();
+        let engine = ReachabilityEngine::new(&nf);
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::from(dst_match(2)));
+        assert_eq!(
+            result.traversed_switches(),
+            vec![SwitchId(1), SwitchId(2), SwitchId(3)]
+        );
+        assert_eq!(result.path_length_bounds(), Some((3, 3)));
+    }
+
+    #[test]
+    fn sources_reaching_inverse_query() {
+        let nf = line_network();
+        let engine = ReachabilityEngine::new(&nf);
+        // Who can reach h2's access point (s3:p2) with dst=2 traffic?
+        let sources = engine.sources_reaching(sp(3, 2), &HeaderSpace::from(dst_match(2)));
+        assert_eq!(sources, vec![sp(1, 1)]);
+        // Nobody reaches it with dst=3 traffic.
+        let none = engine.sources_reaching(sp(3, 2), &HeaderSpace::from(dst_match(3)));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn max_hops_truncates_long_paths() {
+        let nf = line_network();
+        let engine = ReachabilityEngine::with_options(
+            &nf,
+            ReachabilityOptions {
+                max_hops: 1,
+                max_cubes: 4096,
+            },
+        );
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::from(dst_match(2)));
+        assert!(result.endpoints.is_empty());
+        assert!(result.truncated_branches > 0);
+    }
+
+    #[test]
+    fn multicast_reaches_multiple_endpoints() {
+        // One switch with two edge ports; a rule multicasts to both.
+        let mut nf = NetworkFunction::new();
+        nf.declare_switch(SwitchId(1), [PortId(1), PortId(2), PortId(3)]);
+        nf.set_transfer(
+            SwitchId(1),
+            SwitchTransfer::from_rules([RuleTransfer::new(
+                10,
+                dst_match(9),
+                RuleAction::Forward {
+                    ports: vec![PortId(2), PortId(3)],
+                    rewrite: None,
+                },
+            )]),
+        );
+        let engine = ReachabilityEngine::new(&nf);
+        let result = engine.reachable_from(sp(1, 1), HeaderSpace::from(dst_match(9)));
+        let ports = result.reached_ports();
+        assert_eq!(ports, vec![sp(1, 2), sp(1, 3)]);
+    }
+}

@@ -1,0 +1,512 @@
+//! Transfer functions: from flow rules to switches to the whole network.
+//!
+//! * A [`RuleTransfer`] is the HSA view of one flow-table entry: a match cube
+//!   (plus optional ingress-port constraint), a priority and an action that
+//!   either forwards (possibly after rewriting header bits), drops, or sends
+//!   the packet to the controller.
+//! * A [`SwitchTransfer`] is a prioritised rule list; applying it to an input
+//!   header space yields the output spaces per port, honouring OpenFlow
+//!   priority semantics (higher priority wins, unmatched traffic is dropped —
+//!   the OpenFlow table-miss default).
+//! * A [`NetworkFunction`] is the set of switch transfer functions plus the
+//!   internal wiring (which switch port connects to which); it is the object
+//!   the reachability engine walks.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rvaas_types::{FlowCookie, PortId, SwitchId, SwitchPort};
+
+use crate::cube::Cube;
+use crate::space::HeaderSpace;
+
+/// What a rule does with matching traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Forward to the listed output ports (multicast if more than one),
+    /// optionally rewriting header bits first.
+    Forward {
+        /// Ports the traffic is sent out of.
+        ports: Vec<PortId>,
+        /// Optional set-field rewrite applied before forwarding.
+        rewrite: Option<Cube>,
+    },
+    /// Drop matching traffic.
+    Drop,
+    /// Punt matching traffic to the controller (Packet-In).
+    ToController,
+}
+
+impl RuleAction {
+    /// Convenience constructor: forward to a single port, no rewrite.
+    #[must_use]
+    pub fn forward(port: PortId) -> Self {
+        RuleAction::Forward {
+            ports: vec![port],
+            rewrite: None,
+        }
+    }
+}
+
+/// The HSA model of a single flow rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleTransfer {
+    /// Rule priority: higher values match first.
+    pub priority: u16,
+    /// Ingress port constraint (`None` = any port).
+    pub in_port: Option<PortId>,
+    /// Header match.
+    pub match_cube: Cube,
+    /// Action applied to matching traffic.
+    pub action: RuleAction,
+    /// Cookie correlating the rule with control-plane events.
+    pub cookie: FlowCookie,
+}
+
+impl RuleTransfer {
+    /// Creates a rule with the given priority, match and action, matching any
+    /// ingress port.
+    #[must_use]
+    pub fn new(priority: u16, match_cube: Cube, action: RuleAction) -> Self {
+        RuleTransfer {
+            priority,
+            in_port: None,
+            match_cube,
+            action,
+            cookie: FlowCookie(0),
+        }
+    }
+
+    /// Restricts the rule to one ingress port (builder style).
+    #[must_use]
+    pub fn on_port(mut self, port: PortId) -> Self {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Attaches a cookie (builder style).
+    #[must_use]
+    pub fn with_cookie(mut self, cookie: FlowCookie) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    fn applies_to_port(&self, port: PortId) -> bool {
+        self.in_port.is_none_or(|p| p == port)
+    }
+}
+
+/// Output of applying a switch transfer function: a header space leaving
+/// through one port, being dropped, or being punted to the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortSpace {
+    /// Where the traffic goes (`None` for dropped or controller-bound traffic).
+    pub out_port: Option<PortId>,
+    /// True if the traffic is delivered to the controller instead of a port.
+    pub to_controller: bool,
+    /// The headers taking this output, *after* any rewrite.
+    pub space: HeaderSpace,
+    /// Cookie of the rule responsible (helps explainability/debugging).
+    pub cookie: FlowCookie,
+}
+
+/// The transfer function of one switch: its prioritised rule list.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SwitchTransfer {
+    rules: Vec<RuleTransfer>,
+}
+
+impl SwitchTransfer {
+    /// Creates an empty transfer function (drops everything).
+    #[must_use]
+    pub fn new() -> Self {
+        SwitchTransfer::default()
+    }
+
+    /// Builds a transfer function from rules (order irrelevant; priorities
+    /// are respected).
+    #[must_use]
+    pub fn from_rules(rules: impl IntoIterator<Item = RuleTransfer>) -> Self {
+        let mut t = SwitchTransfer {
+            rules: rules.into_iter().collect(),
+        };
+        t.sort();
+        t
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: RuleTransfer) {
+        self.rules.push(rule);
+        self.sort();
+    }
+
+    /// Removes all rules with the given cookie; returns how many were removed.
+    pub fn remove_by_cookie(&mut self, cookie: FlowCookie) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.cookie != cookie);
+        before - self.rules.len()
+    }
+
+    /// The rules, highest priority first.
+    #[must_use]
+    pub fn rules(&self) -> &[RuleTransfer] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the switch has no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    fn sort(&mut self) {
+        // Stable sort: equal priorities keep insertion order, mirroring the
+        // behaviour of a real switch where overlapping equal-priority rules
+        // are matched in an implementation-defined but stable order.
+        self.rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+    }
+
+    /// Applies the transfer function to traffic entering through `in_port`
+    /// with headers in `input`.
+    ///
+    /// The result partitions the input: every header is accounted for exactly
+    /// once (by the highest-priority matching rule, or by the implicit
+    /// table-miss drop).
+    #[must_use]
+    pub fn apply(&self, in_port: PortId, input: &HeaderSpace) -> Vec<PortSpace> {
+        let mut outputs = Vec::new();
+        let mut remaining = input.clone();
+
+        for rule in &self.rules {
+            if remaining.is_empty() {
+                break;
+            }
+            if !rule.applies_to_port(in_port) {
+                continue;
+            }
+            let matched = remaining.intersect_cube(&rule.match_cube);
+            if matched.is_empty() {
+                continue;
+            }
+            remaining = remaining.subtract_cube(&rule.match_cube);
+            match &rule.action {
+                RuleAction::Forward { ports, rewrite } => {
+                    let out_space = match rewrite {
+                        Some(rw) => matched.rewrite(rw),
+                        None => matched.clone(),
+                    };
+                    for port in ports {
+                        outputs.push(PortSpace {
+                            out_port: Some(*port),
+                            to_controller: false,
+                            space: out_space.clone(),
+                            cookie: rule.cookie,
+                        });
+                    }
+                }
+                RuleAction::Drop => outputs.push(PortSpace {
+                    out_port: None,
+                    to_controller: false,
+                    space: matched,
+                    cookie: rule.cookie,
+                }),
+                RuleAction::ToController => outputs.push(PortSpace {
+                    out_port: None,
+                    to_controller: true,
+                    space: matched,
+                    cookie: rule.cookie,
+                }),
+            }
+        }
+
+        if !remaining.is_empty() {
+            // Table miss: dropped (OpenFlow default when no miss rule exists).
+            outputs.push(PortSpace {
+                out_port: None,
+                to_controller: false,
+                space: remaining,
+                cookie: FlowCookie(u64::MAX),
+            });
+        }
+        outputs
+    }
+}
+
+impl FromIterator<RuleTransfer> for SwitchTransfer {
+    fn from_iter<I: IntoIterator<Item = RuleTransfer>>(iter: I) -> Self {
+        SwitchTransfer::from_rules(iter)
+    }
+}
+
+/// The whole-network transfer function: per-switch rules plus internal wiring.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkFunction {
+    switches: BTreeMap<SwitchId, SwitchTransfer>,
+    /// Declared ports per switch (both internal and edge).
+    ports: BTreeMap<SwitchId, Vec<PortId>>,
+    /// Internal links: unidirectional port-to-port adjacency (stored both ways
+    /// for a bidirectional link).
+    links: BTreeMap<SwitchPort, SwitchPort>,
+}
+
+impl NetworkFunction {
+    /// Creates an empty network function.
+    #[must_use]
+    pub fn new() -> Self {
+        NetworkFunction::default()
+    }
+
+    /// Declares a switch with its set of ports (replacing any previous
+    /// declaration).
+    pub fn declare_switch(&mut self, switch: SwitchId, ports: impl IntoIterator<Item = PortId>) {
+        self.ports.insert(switch, ports.into_iter().collect());
+        self.switches.entry(switch).or_default();
+    }
+
+    /// Sets (replaces) the transfer function of a switch.
+    pub fn set_transfer(&mut self, switch: SwitchId, transfer: SwitchTransfer) {
+        self.switches.insert(switch, transfer);
+        self.ports.entry(switch).or_default();
+    }
+
+    /// Returns the transfer function of `switch`, if declared.
+    #[must_use]
+    pub fn transfer(&self, switch: SwitchId) -> Option<&SwitchTransfer> {
+        self.switches.get(&switch)
+    }
+
+    /// Connects two switch ports with a bidirectional internal link.
+    pub fn connect(&mut self, a: SwitchPort, b: SwitchPort) {
+        self.links.insert(a, b);
+        self.links.insert(b, a);
+    }
+
+    /// Returns the internal peer of a port, if the port is wired internally.
+    #[must_use]
+    pub fn link_peer(&self, port: SwitchPort) -> Option<SwitchPort> {
+        self.links.get(&port).copied()
+    }
+
+    /// All declared switches.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        self.switches.keys().copied()
+    }
+
+    /// Number of declared switches.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Total number of rules across all switches.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.switches.values().map(SwitchTransfer::len).sum()
+    }
+
+    /// Declared ports of a switch.
+    #[must_use]
+    pub fn ports_of(&self, switch: SwitchId) -> &[PortId] {
+        self.ports.get(&switch).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edge ports of a switch: declared ports with no internal link. These
+    /// are the network's access points (where hosts/clients attach).
+    #[must_use]
+    pub fn edge_ports(&self, switch: SwitchId) -> Vec<PortId> {
+        self.ports_of(switch)
+            .iter()
+            .copied()
+            .filter(|p| !self.links.contains_key(&SwitchPort::new(switch, *p)))
+            .collect()
+    }
+
+    /// All edge ports in the network.
+    #[must_use]
+    pub fn all_edge_ports(&self) -> Vec<SwitchPort> {
+        self.switches()
+            .flat_map(|s| {
+                self.edge_ports(s)
+                    .into_iter()
+                    .map(move |p| SwitchPort::new(s, p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_types::{Field, Header};
+
+    fn dst_match(dst: u32) -> Cube {
+        Cube::wildcard().with_field(Field::IpDst, u64::from(dst))
+    }
+
+    fn header_to(dst: u32) -> Header {
+        Header::builder().ip_dst(dst).build()
+    }
+
+    #[test]
+    fn empty_switch_drops_everything() {
+        let t = SwitchTransfer::new();
+        assert!(t.is_empty());
+        let out = t.apply(PortId(1), &HeaderSpace::all());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].out_port, None);
+        assert!(!out[0].to_controller);
+        assert_eq!(out[0].space, HeaderSpace::all());
+    }
+
+    #[test]
+    fn single_forward_rule_partitions_traffic() {
+        let t = SwitchTransfer::from_rules([RuleTransfer::new(
+            10,
+            dst_match(1),
+            RuleAction::forward(PortId(2)),
+        )]);
+        let out = t.apply(PortId(1), &HeaderSpace::all());
+        assert_eq!(out.len(), 2);
+        let fwd = out.iter().find(|o| o.out_port == Some(PortId(2))).unwrap();
+        let drop = out.iter().find(|o| o.out_port.is_none()).unwrap();
+        assert!(fwd.space.contains(&header_to(1)));
+        assert!(!fwd.space.contains(&header_to(2)));
+        assert!(drop.space.contains(&header_to(2)));
+        assert!(!drop.space.contains(&header_to(1)));
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        // High-priority drop for dst 1, low-priority forward-all.
+        let t = SwitchTransfer::from_rules([
+            RuleTransfer::new(100, dst_match(1), RuleAction::Drop),
+            RuleTransfer::new(1, Cube::wildcard(), RuleAction::forward(PortId(9))),
+        ]);
+        let out = t.apply(PortId(1), &HeaderSpace::all());
+        let fwd = out.iter().find(|o| o.out_port == Some(PortId(9))).unwrap();
+        let dropped = out.iter().find(|o| o.out_port.is_none()).unwrap();
+        assert!(!fwd.space.contains(&header_to(1)));
+        assert!(fwd.space.contains(&header_to(2)));
+        assert!(dropped.space.contains(&header_to(1)));
+    }
+
+    #[test]
+    fn in_port_constraint_is_honoured() {
+        let t = SwitchTransfer::from_rules([RuleTransfer::new(
+            10,
+            Cube::wildcard(),
+            RuleAction::forward(PortId(2)),
+        )
+        .on_port(PortId(1))]);
+        let from_p1 = t.apply(PortId(1), &HeaderSpace::all());
+        assert!(from_p1.iter().any(|o| o.out_port == Some(PortId(2))));
+        let from_p3 = t.apply(PortId(3), &HeaderSpace::all());
+        assert!(from_p3.iter().all(|o| o.out_port.is_none()));
+    }
+
+    #[test]
+    fn rewrite_action_transforms_space() {
+        let rewrite = Cube::wildcard().with_field(Field::Vlan, 77);
+        let t = SwitchTransfer::from_rules([RuleTransfer::new(
+            5,
+            dst_match(3),
+            RuleAction::Forward {
+                ports: vec![PortId(4)],
+                rewrite: Some(rewrite),
+            },
+        )]);
+        let out = t.apply(PortId(1), &HeaderSpace::from(dst_match(3)));
+        let fwd = out.iter().find(|o| o.out_port == Some(PortId(4))).unwrap();
+        for cube in fwd.space.cubes() {
+            assert_eq!(cube.field_exact(Field::Vlan), Some(77));
+        }
+    }
+
+    #[test]
+    fn to_controller_action_is_flagged() {
+        let t = SwitchTransfer::from_rules([RuleTransfer::new(
+            10,
+            Cube::wildcard().with_field(Field::L4Dst, 9999),
+            RuleAction::ToController,
+        )]);
+        let probe = Header::builder().ip_dst(1).l4_dst(9999).build();
+        let out = t.apply(PortId(1), &HeaderSpace::singleton(&probe));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].to_controller);
+    }
+
+    #[test]
+    fn multicast_forward_duplicates_space() {
+        let t = SwitchTransfer::from_rules([RuleTransfer::new(
+            10,
+            Cube::wildcard(),
+            RuleAction::Forward {
+                ports: vec![PortId(1), PortId(2), PortId(3)],
+                rewrite: None,
+            },
+        )]);
+        let out = t.apply(PortId(9), &HeaderSpace::all());
+        let fwd_ports: Vec<_> = out.iter().filter_map(|o| o.out_port).collect();
+        assert_eq!(fwd_ports, vec![PortId(1), PortId(2), PortId(3)]);
+    }
+
+    #[test]
+    fn apply_partitions_input_exactly() {
+        // Every probe header must appear in exactly one output space.
+        let t = SwitchTransfer::from_rules([
+            RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(1))),
+            RuleTransfer::new(10, dst_match(2), RuleAction::forward(PortId(2))),
+            RuleTransfer::new(5, Cube::wildcard(), RuleAction::Drop),
+        ]);
+        let out = t.apply(PortId(7), &HeaderSpace::all());
+        for dst in [1u32, 2, 3, 4] {
+            let h = header_to(dst);
+            let holders = out.iter().filter(|o| o.space.contains(&h)).count();
+            assert_eq!(holders, 1, "header to {dst} appears in {holders} outputs");
+        }
+    }
+
+    #[test]
+    fn remove_by_cookie() {
+        let mut t = SwitchTransfer::from_rules([
+            RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(1)))
+                .with_cookie(FlowCookie(7)),
+            RuleTransfer::new(10, dst_match(2), RuleAction::forward(PortId(2)))
+                .with_cookie(FlowCookie(8)),
+        ]);
+        assert_eq!(t.remove_by_cookie(FlowCookie(7)), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove_by_cookie(FlowCookie(7)), 0);
+    }
+
+    #[test]
+    fn network_function_wiring_and_edge_ports() {
+        let mut nf = NetworkFunction::new();
+        nf.declare_switch(SwitchId(1), [PortId(1), PortId(2)]);
+        nf.declare_switch(SwitchId(2), [PortId(1), PortId(2)]);
+        nf.connect(
+            SwitchPort::new(SwitchId(1), PortId(2)),
+            SwitchPort::new(SwitchId(2), PortId(1)),
+        );
+        assert_eq!(
+            nf.link_peer(SwitchPort::new(SwitchId(1), PortId(2))),
+            Some(SwitchPort::new(SwitchId(2), PortId(1)))
+        );
+        assert_eq!(
+            nf.link_peer(SwitchPort::new(SwitchId(2), PortId(1))),
+            Some(SwitchPort::new(SwitchId(1), PortId(2)))
+        );
+        assert_eq!(nf.edge_ports(SwitchId(1)), vec![PortId(1)]);
+        assert_eq!(nf.edge_ports(SwitchId(2)), vec![PortId(2)]);
+        assert_eq!(nf.all_edge_ports().len(), 2);
+        assert_eq!(nf.switch_count(), 2);
+        assert_eq!(nf.rule_count(), 0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Integration-test crate: the cross-crate tests live under `tests/`.
+//!
+//! This library target is intentionally empty; it exists so the test binaries
+//! have a package to belong to.

@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: full protocol runs spanning the topology,
+//! simulator, control plane, adversary, RVaaS controller and client agents.
+
+use rvaas::{LocationMap, MonitorConfig, PollStrategy, VerifierConfig};
+use rvaas_client::{QueryResult, QuerySpec};
+use rvaas_controlplane::attack::Flapping;
+use rvaas_controlplane::{Attack, ScheduledAttack};
+use rvaas_topology::generators;
+use rvaas_types::{ClientId, HostId, SimTime};
+use rvaas_workloads::ScenarioBuilder;
+
+/// Figure 1 + 2: the full integrity-request round trip on a leaf-spine
+/// fabric, with the authentication round covering every reported endpoint.
+#[test]
+fn figure_1_2_protocol_walkthrough() {
+    let topo = generators::leaf_spine(2, 4, 2, 11);
+    let querying_host = topo.hosts_of_client(ClientId(1))[0].id;
+    let mut scenario = ScenarioBuilder::new(topo)
+        .query(
+            querying_host,
+            SimTime::from_millis(10),
+            QuerySpec::ReachableDestinations,
+        )
+        .seed(11)
+        .build();
+    scenario.run_until(SimTime::from_millis(200));
+
+    let replies = scenario.replies_for(querying_host);
+    assert_eq!(replies.len(), 1);
+    let reply = &replies[0];
+    match &reply.result {
+        QueryResult::Endpoints { endpoints } => {
+            // Client 1 has one host per leaf (4 leaves) -> at least 3 peers.
+            assert!(endpoints.len() >= 3, "endpoints: {endpoints:?}");
+            assert!(endpoints.iter().all(|e| e.client == ClientId(1)));
+            assert!(
+                endpoints.iter().all(|e| e.authenticated),
+                "all live endpoints must authenticate"
+            );
+        }
+        other => panic!("unexpected result {other:?}"),
+    }
+    assert_eq!(reply.auth_requests_sent, reply.auth_replies_received);
+    assert!(reply.auth_requests_sent >= 3);
+    // The protocol is strictly in-band: at least one Packet-In per query /
+    // auth reply and one Packet-Out per auth request / final reply.
+    let outcome = scenario.outcome();
+    assert!(outcome.packet_ins as u32 >= reply.auth_requests_sent);
+    assert!(outcome.packet_outs as u32 > reply.auth_requests_sent);
+}
+
+/// The join-attack case study across the whole stack, including the benign
+/// audit before the attack.
+#[test]
+fn join_attack_detected_only_after_it_happens() {
+    let topo = generators::line(4, 2);
+    let mut scenario = ScenarioBuilder::new(topo.clone())
+        .attack(ScheduledAttack::persistent(
+            Attack::Join {
+                attacker_host: HostId(2),
+                victim_client: ClientId(1),
+            },
+            SimTime::from_millis(8),
+        ))
+        .query(HostId(1), SimTime::from_millis(3), QuerySpec::Isolation)
+        .query(HostId(1), SimTime::from_millis(25), QuerySpec::Isolation)
+        .seed(2)
+        .build();
+    scenario.run_until(SimTime::from_millis(150));
+    let replies = scenario.replies_for(HostId(1));
+    assert_eq!(replies.len(), 2);
+    let verdicts: Vec<bool> = replies
+        .iter()
+        .map(|r| matches!(r.result, QueryResult::IsolationStatus { isolated: true, .. }))
+        .collect();
+    assert_eq!(verdicts, vec![true, false], "clean before, violated after");
+    // The foreign endpoint reported after the attack is the attacker host.
+    let h2_ip = topo.host(HostId(2)).unwrap().ip;
+    match &replies[1].result {
+        QueryResult::IsolationStatus {
+            foreign_endpoints, ..
+        } => {
+            assert!(foreign_endpoints.iter().any(|e| e.ip == h2_ip));
+        }
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+/// Flapping (short-term reconfiguration) attacks evade a snapshot-only view
+/// but not the history-augmented one (paper Section IV-A).
+#[test]
+fn flapping_attack_detected_with_history_only() {
+    let run = |use_history: bool| -> bool {
+        let topo = generators::line(4, 2);
+        let mut scenario = ScenarioBuilder::new(topo.clone())
+            .attack(ScheduledAttack::flapping(
+                Attack::Join {
+                    attacker_host: HostId(2),
+                    victim_client: ClientId(1),
+                },
+                SimTime::from_millis(2),
+                Flapping {
+                    active: SimTime::from_millis(2),
+                    period: SimTime::from_millis(20),
+                    repetitions: 10,
+                },
+            ))
+            // Query lands in the gap between two active windows.
+            .query(HostId(1), SimTime::from_millis(10), QuerySpec::Isolation)
+            .monitor(MonitorConfig {
+                passive_enabled: true,
+                polling: PollStrategy::Randomized {
+                    mean_interval: SimTime::from_millis(50),
+                },
+                history_window: SimTime::from_secs(1),
+                seed: 4,
+            })
+            .verifier(VerifierConfig {
+                use_history,
+                locations: LocationMap::disclosed(&topo),
+            })
+            .seed(4)
+            .build();
+        scenario.run_until(SimTime::from_millis(120));
+        let replies = scenario.replies_for(HostId(1));
+        assert_eq!(replies.len(), 1);
+        matches!(
+            replies[0].result,
+            QueryResult::IsolationStatus { isolated: false, .. }
+        )
+    };
+    assert!(
+        !run(false),
+        "without history the flapped rule is invisible at query time"
+    );
+    assert!(run(true), "history-based verification catches the flapping");
+}
+
+/// Determinism: the same scenario seed yields byte-identical observable
+/// outcomes (a property every experiment relies on).
+#[test]
+fn scenarios_are_deterministic_per_seed() {
+    let run = || {
+        let topo = generators::leaf_spine(2, 3, 2, 5);
+        let host = topo.hosts_of_client(ClientId(2))[0].id;
+        let mut scenario = ScenarioBuilder::new(topo)
+            .query(host, SimTime::from_millis(7), QuerySpec::ReachableDestinations)
+            .seed(99)
+            .build();
+        scenario.run_until(SimTime::from_millis(120));
+        (
+            scenario.outcome().total_control_messages,
+            scenario.outcome().packet_ins,
+            scenario.replies_for(host),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Unresponsive endpoints show up through the auth-request / auth-reply count
+/// mismatch that the paper requires RVaaS to report.
+#[test]
+fn silent_endpoints_are_visible_in_the_counters() {
+    let topo = generators::line(6, 2); // client 1 owns hosts 1, 3, 5
+    let mut scenario = ScenarioBuilder::new(topo)
+        .query(
+            HostId(1),
+            SimTime::from_millis(5),
+            QuerySpec::ReachableDestinations,
+        )
+        .unresponsive([HostId(5)])
+        .seed(6)
+        .build();
+    scenario.run_until(SimTime::from_millis(150));
+    let replies = scenario.replies_for(HostId(1));
+    assert_eq!(replies.len(), 1);
+    let reply = &replies[0];
+    assert!(reply.auth_requests_sent > reply.auth_replies_received);
+    match &reply.result {
+        QueryResult::Endpoints { endpoints } => {
+            assert!(endpoints.iter().any(|e| e.authenticated));
+            assert!(endpoints.iter().any(|e| !e.authenticated));
+        }
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+/// Neutrality violations are only reported to the discriminated client.
+#[test]
+fn neutrality_check_end_to_end() {
+    let topo = generators::line(4, 2);
+    let mut scenario = ScenarioBuilder::new(topo)
+        .attack(ScheduledAttack::persistent(
+            Attack::Throttle {
+                victim_client: ClientId(1),
+                rate_kbps: 256,
+            },
+            SimTime::from_millis(2),
+        ))
+        .query(HostId(1), SimTime::from_millis(10), QuerySpec::Neutrality)
+        .query(HostId(2), SimTime::from_millis(12), QuerySpec::Neutrality)
+        .seed(8)
+        .build();
+    scenario.run_until(SimTime::from_millis(100));
+    let victim = scenario.replies_for(HostId(1));
+    let bystander = scenario.replies_for(HostId(2));
+    assert!(matches!(
+        victim[0].result,
+        QueryResult::Neutrality { fair: false, .. }
+    ));
+    assert!(matches!(
+        bystander[0].result,
+        QueryResult::Neutrality { fair: true, .. }
+    ));
+}

@@ -1,0 +1,202 @@
+//! Application traits: the host-side and controller-side code that the
+//! simulator drives.
+//!
+//! Implementations live in other crates: client agents (auth responders,
+//! query issuers) implement [`HostApp`]; the provider controller, the
+//! adversary and the RVaaS verification controller implement
+//! [`ControllerApp`]. The contexts collect the outputs of a callback —
+//! packets to emit, control messages to send, timers to arm — and the engine
+//! turns them into scheduled events after the callback returns, keeping the
+//! callback free of any direct dependency on the engine.
+
+use rvaas_openflow::{ControllerRole, Message};
+use rvaas_types::{HostId, Packet, SimTime, SwitchId, SwitchPort};
+
+/// Handle identifying a registered controller within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControllerHandle(pub usize);
+
+/// The environment a [`ControllerApp`] callback runs in.
+#[derive(Debug)]
+pub struct ControllerContext {
+    now: SimTime,
+    switches: Vec<SwitchId>,
+    outbox: Vec<(SwitchId, Message)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl ControllerContext {
+    /// Creates a context (used by the engine and by unit tests of controller apps).
+    #[must_use]
+    pub fn new(now: SimTime, switches: Vec<SwitchId>) -> Self {
+        ControllerContext {
+            now,
+            switches,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// All switches this controller is connected to.
+    #[must_use]
+    pub fn switches(&self) -> &[SwitchId] {
+        &self.switches
+    }
+
+    /// Sends a control message to a switch.
+    pub fn send(&mut self, switch: SwitchId, message: Message) {
+        self.outbox.push((switch, message));
+    }
+
+    /// Arms a timer that fires `delay` from now with the given token.
+    pub fn schedule(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+
+    /// Consumes the context, returning the collected messages and timers.
+    #[must_use]
+    pub fn into_effects(self) -> (Vec<(SwitchId, Message)>, Vec<(SimTime, u64)>) {
+        (self.outbox, self.timers)
+    }
+}
+
+/// A controller connected to every switch of the network.
+pub trait ControllerApp {
+    /// The role this controller plays (provider management vs. RVaaS).
+    fn role(&self) -> ControllerRole;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut ControllerContext) {
+        let _ = ctx;
+    }
+
+    /// Called when a switch message (Packet-In, Flow-Removed, stats reply,
+    /// monitor notification, error…) is delivered to this controller.
+    fn on_switch_message(&mut self, switch: SwitchId, message: &Message, ctx: &mut ControllerContext);
+
+    /// Called when a timer armed via [`ControllerContext::schedule`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut ControllerContext) {
+        let _ = (token, ctx);
+    }
+}
+
+/// The environment a [`HostApp`] callback runs in.
+#[derive(Debug)]
+pub struct HostContext {
+    now: SimTime,
+    host: HostId,
+    ip: u32,
+    attachment: SwitchPort,
+    outbox: Vec<Packet>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl HostContext {
+    /// Creates a context (used by the engine and by unit tests of host apps).
+    #[must_use]
+    pub fn new(now: SimTime, host: HostId, ip: u32, attachment: SwitchPort) -> Self {
+        HostContext {
+            now,
+            host,
+            ip,
+            attachment,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This host's identifier.
+    #[must_use]
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// This host's IP address.
+    #[must_use]
+    pub fn ip(&self) -> u32 {
+        self.ip
+    }
+
+    /// The access point the host is attached to.
+    #[must_use]
+    pub fn attachment(&self) -> SwitchPort {
+        self.attachment
+    }
+
+    /// Emits a packet into the network through the host's access point.
+    pub fn send(&mut self, packet: Packet) {
+        self.outbox.push(packet);
+    }
+
+    /// Arms a timer that fires `delay` from now with the given token.
+    pub fn schedule(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+
+    /// Consumes the context, returning the collected packets and timers.
+    #[must_use]
+    pub fn into_effects(self) -> (Vec<Packet>, Vec<(SimTime, u64)>) {
+        (self.outbox, self.timers)
+    }
+}
+
+/// Application code running on a host (the paper's client agent: "clients run
+/// a software which responds to our authentication requests, in user space").
+pub trait HostApp {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut HostContext) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet is delivered to the host.
+    fn on_packet(&mut self, packet: &Packet, ctx: &mut HostContext);
+
+    /// Called when a timer armed via [`HostContext::schedule`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut HostContext) {
+        let _ = (token, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_types::{Header, PortId};
+
+    #[test]
+    fn controller_context_collects_effects() {
+        let mut ctx = ControllerContext::new(SimTime::from_micros(5), vec![SwitchId(1), SwitchId(2)]);
+        assert_eq!(ctx.now(), SimTime::from_micros(5));
+        assert_eq!(ctx.switches().len(), 2);
+        ctx.send(SwitchId(1), Message::FlowStatsRequest);
+        ctx.schedule(SimTime::from_micros(10), 99);
+        let (outbox, timers) = ctx.into_effects();
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(timers, vec![(SimTime::from_micros(15), 99)]);
+    }
+
+    #[test]
+    fn host_context_collects_effects() {
+        let attachment = SwitchPort::new(SwitchId(3), PortId(1));
+        let mut ctx = HostContext::new(SimTime::ZERO, HostId(7), 0x0a000007, attachment);
+        assert_eq!(ctx.host(), HostId(7));
+        assert_eq!(ctx.ip(), 0x0a000007);
+        assert_eq!(ctx.attachment(), attachment);
+        ctx.send(Packet::new(Header::default()));
+        ctx.schedule(SimTime::from_millis(1), 1);
+        let (packets, timers) = ctx.into_effects();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(timers.len(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! The event queue driving the simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rvaas_openflow::{ControllerRole, Message};
+use rvaas_types::{HostId, Packet, SimTime, SwitchId, SwitchPort};
+
+/// A simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A packet arrives at a switch port (after traversing a link or being
+    /// emitted by an attached host).
+    PacketAtSwitch {
+        /// The receiving port.
+        at: SwitchPort,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A packet is delivered to a host attached at an edge port.
+    PacketAtHost {
+        /// The receiving host.
+        host: HostId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A control message travels from a controller to a switch.
+    ControlToSwitch {
+        /// Destination switch.
+        switch: SwitchId,
+        /// Originating controller (index into the engine's controller list).
+        controller: usize,
+        /// Role of the originating controller.
+        role: ControllerRole,
+        /// The message.
+        message: Message,
+    },
+    /// A control message travels from a switch to a controller.
+    ControlToController {
+        /// Destination controller index.
+        controller: usize,
+        /// Originating switch.
+        switch: SwitchId,
+        /// The message.
+        message: Message,
+    },
+    /// A timer armed by a controller fires.
+    ControllerTimer {
+        /// The controller owning the timer.
+        controller: usize,
+        /// Caller-chosen token identifying the timer.
+        token: u64,
+    },
+    /// A timer armed by a host application fires.
+    HostTimer {
+        /// The host owning the timer.
+        host: HostId,
+        /// Caller-chosen token identifying the timer.
+        token: u64,
+    },
+}
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-breaker preserving insertion order among same-time events.
+    pub sequence: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(ScheduledEvent {
+            at,
+            sequence,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the next event, if any.
+    #[must_use]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_types::Header;
+
+    fn dummy_event(tag: u64) -> Event {
+        Event::ControllerTimer {
+            controller: 0,
+            token: tag,
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), dummy_event(3));
+        q.schedule(SimTime::from_micros(10), dummy_event(1));
+        q.schedule(SimTime::from_micros(20), dummy_event(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| match e.event {
+            Event::ControllerTimer { token, .. } => token,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_preserve_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_micros(5), dummy_event(i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| match e.event {
+            Event::ControllerTimer { token, .. } => token,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.schedule(SimTime::from_micros(7), dummy_event(0));
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn packet_events_carry_payloads() {
+        let mut q = EventQueue::new();
+        let packet = Packet::new(Header::builder().ip_dst(1).build());
+        q.schedule(
+            SimTime::ZERO,
+            Event::PacketAtHost {
+                host: HostId(1),
+                packet: packet.clone(),
+            },
+        );
+        match q.pop().unwrap().event {
+            Event::PacketAtHost { host, packet: p } => {
+                assert_eq!(host, HostId(1));
+                assert_eq!(p, packet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

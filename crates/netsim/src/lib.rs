@@ -1,0 +1,31 @@
+//! # rvaas-netsim
+//!
+//! A deterministic discrete-event simulator for OpenFlow data planes.
+//!
+//! The simulator executes a [`Topology`](rvaas_topology::Topology): every
+//! switch runs a [`SwitchAgent`](rvaas_openflow::SwitchAgent), every host can
+//! run a user-supplied [`HostApp`], and any number of controllers — the
+//! provider's (possibly compromised) controller and the RVaaS verification
+//! controller — run as [`ControllerApp`]s connected to all switches. Packets
+//! traverse links with latency, control messages traverse the control channel
+//! with (configurable) latency and loss, and everything is driven from a
+//! single seeded event queue so that a given seed always reproduces the same
+//! execution.
+//!
+//! The simulator keeps *ground truth* (packet traces, delivery records) that
+//! is available to experiments and tests but is never exposed to the RVaaS
+//! controller or clients — they must learn everything through the protocol,
+//! exactly as the paper requires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod engine;
+pub mod event;
+pub mod stats;
+
+pub use apps::{ControllerApp, ControllerContext, ControllerHandle, HostApp, HostContext};
+pub use engine::{Network, NetworkConfig};
+pub use event::{Event, EventQueue, ScheduledEvent};
+pub use stats::{DeliveryRecord, NetStats};

@@ -1,0 +1,478 @@
+//! Topology generators.
+//!
+//! All generators are deterministic given their parameters and (where
+//! applicable) a seed, so experiments are reproducible. Conventions shared by
+//! all generators:
+//!
+//! * Switch ids start at 1 and are assigned in generation order.
+//! * Host ids start at 1; host `i` gets IP `10.0.0.0 + i`.
+//! * Hosts are assigned to clients round-robin over `client_count` clients
+//!   (ids starting at 1) unless stated otherwise.
+//! * Edge (host-facing) ports use the lowest port numbers of a switch;
+//!   inter-switch ports use the higher ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rvaas_types::{ClientId, GeoPoint, HostId, PortId, Region, SimTime, SwitchId, SwitchPort};
+
+use crate::model::Topology;
+
+const BASE_IP: u32 = 0x0a00_0000; // 10.0.0.0
+const LINK_LATENCY_US: u64 = 10;
+
+fn region_for(index: usize, regions: &[&str]) -> Region {
+    Region::new(regions[index % regions.len()])
+}
+
+/// Default region labels used when a generator needs to spread elements over
+/// jurisdictions.
+pub const DEFAULT_REGIONS: [&str; 4] = ["EU", "US", "APAC", "LATAM"];
+
+/// A linear chain of `n` switches with one host per switch.
+///
+/// Host `i` attaches to switch `i` on port 1; switches are chained via ports
+/// 2 (towards the previous switch) and 3 (towards the next).
+#[must_use]
+pub fn line(n: usize, client_count: usize) -> Topology {
+    let mut topo = Topology::new();
+    for i in 1..=n {
+        topo.add_switch(
+            SwitchId(i as u32),
+            4,
+            GeoPoint::new(i as f64 * 10.0, 0.0, region_for(i - 1, &DEFAULT_REGIONS)),
+        );
+    }
+    for i in 1..n {
+        topo.add_link(
+            SwitchPort::new(SwitchId(i as u32), PortId(3)),
+            SwitchPort::new(SwitchId(i as u32 + 1), PortId(2)),
+            SimTime::from_micros(LINK_LATENCY_US),
+        )
+        .expect("line link endpoints exist");
+    }
+    for i in 1..=n {
+        let client = ClientId((i - 1) as u32 % client_count.max(1) as u32 + 1);
+        topo.add_host(
+            HostId(i as u32),
+            BASE_IP + i as u32,
+            SwitchPort::new(SwitchId(i as u32), PortId(1)),
+            client,
+            GeoPoint::new(i as f64 * 10.0, -5.0, region_for(i - 1, &DEFAULT_REGIONS)),
+        )
+        .expect("line host attachment exists");
+    }
+    topo
+}
+
+/// A ring of `n` switches (n >= 3) with one host per switch.
+#[must_use]
+pub fn ring(n: usize, client_count: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 switches");
+    let mut topo = line(n, client_count);
+    // Close the ring: last switch port 3 to first switch port 2.
+    topo.add_link(
+        SwitchPort::new(SwitchId(n as u32), PortId(3)),
+        SwitchPort::new(SwitchId(1), PortId(2)),
+        SimTime::from_micros(LINK_LATENCY_US),
+    )
+    .expect("ring closure ports are free");
+    topo
+}
+
+/// A two-tier leaf–spine fabric.
+///
+/// `spines` spine switches, `leaves` leaf switches, `hosts_per_leaf` hosts on
+/// each leaf. Every leaf connects to every spine. Hosts are assigned to
+/// clients round-robin (client count = `hosts_per_leaf`, i.e. one client per
+/// rack position, giving each client hosts spread across leaves), which gives
+/// isolation experiments a natural multi-tenant placement.
+#[must_use]
+pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    // Spines: ids 1..=spines; Leaves: ids spines+1..=spines+leaves.
+    for s in 1..=spines {
+        topo.add_switch(
+            SwitchId(s as u32),
+            leaves,
+            GeoPoint::new(s as f64 * 20.0, 100.0, region_for(s - 1, &DEFAULT_REGIONS)),
+        );
+    }
+    for l in 1..=leaves {
+        let id = SwitchId((spines + l) as u32);
+        topo.add_switch(
+            id,
+            hosts_per_leaf + spines,
+            GeoPoint::new(l as f64 * 10.0, 0.0, region_for(l - 1, &DEFAULT_REGIONS)),
+        );
+    }
+    // Leaf l port (hosts_per_leaf + s) <-> spine s port l.
+    for l in 1..=leaves {
+        for s in 1..=spines {
+            topo.add_link(
+                SwitchPort::new(SwitchId((spines + l) as u32), PortId((hosts_per_leaf + s) as u32)),
+                SwitchPort::new(SwitchId(s as u32), PortId(l as u32)),
+                SimTime::from_micros(LINK_LATENCY_US),
+            )
+            .expect("leaf-spine link endpoints exist");
+        }
+    }
+    // Hosts.
+    let mut host_id = 1u32;
+    for l in 1..=leaves {
+        for h in 1..=hosts_per_leaf {
+            let client = ClientId(h as u32);
+            let jitter: f64 = rng.gen_range(-1.0..1.0);
+            topo.add_host(
+                HostId(host_id),
+                BASE_IP + host_id,
+                SwitchPort::new(SwitchId((spines + l) as u32), PortId(h as u32)),
+                client,
+                GeoPoint::new(
+                    l as f64 * 10.0 + jitter,
+                    -5.0,
+                    region_for(l - 1, &DEFAULT_REGIONS),
+                ),
+            )
+            .expect("leaf-spine host attachment exists");
+            host_id += 1;
+        }
+    }
+    topo
+}
+
+/// A k-ary fat-tree (k even): `k` pods, `(k/2)^2` core switches,
+/// `k/2` aggregation and `k/2` edge switches per pod, and `k/2` hosts per
+/// edge switch. Hosts are assigned to clients round-robin over
+/// `client_count` clients.
+#[must_use]
+pub fn fat_tree(k: usize, client_count: usize) -> Topology {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    let half = k / 2;
+    let core_count = half * half;
+    let mut topo = Topology::new();
+    let mut next_switch = 1u32;
+
+    // Core switches: ids 1..=core_count, k ports each (one per pod).
+    let core_base = next_switch;
+    for c in 0..core_count {
+        topo.add_switch(
+            SwitchId(core_base + c as u32),
+            k,
+            GeoPoint::new(c as f64, 200.0, region_for(c, &DEFAULT_REGIONS)),
+        );
+        next_switch += 1;
+    }
+    // Aggregation and edge switches per pod.
+    let mut agg_ids = Vec::new();
+    let mut edge_ids = Vec::new();
+    for pod in 0..k {
+        let mut pod_agg = Vec::new();
+        let mut pod_edge = Vec::new();
+        for _ in 0..half {
+            let id = SwitchId(next_switch);
+            next_switch += 1;
+            topo.add_switch(
+                id,
+                k,
+                GeoPoint::new(pod as f64 * 10.0, 100.0, region_for(pod, &DEFAULT_REGIONS)),
+            );
+            pod_agg.push(id);
+        }
+        for _ in 0..half {
+            let id = SwitchId(next_switch);
+            next_switch += 1;
+            topo.add_switch(
+                id,
+                k,
+                GeoPoint::new(pod as f64 * 10.0, 50.0, region_for(pod, &DEFAULT_REGIONS)),
+            );
+            pod_edge.push(id);
+        }
+        agg_ids.push(pod_agg);
+        edge_ids.push(pod_edge);
+    }
+
+    // Core <-> aggregation: core switch (i, j) (i-th group, j-th in group)
+    // connects to aggregation switch i of every pod.
+    for i in 0..half {
+        for j in 0..half {
+            let core = SwitchId(core_base + (i * half + j) as u32);
+            for (pod, aggs) in agg_ids.iter().enumerate() {
+                let agg = aggs[i];
+                // Core port = pod+1; agg uplink port = half + j + 1.
+                topo.add_link(
+                    SwitchPort::new(core, PortId(pod as u32 + 1)),
+                    SwitchPort::new(agg, PortId((half + j + 1) as u32)),
+                    SimTime::from_micros(LINK_LATENCY_US),
+                )
+                .expect("fat-tree core-agg link");
+            }
+        }
+    }
+    // Aggregation <-> edge within each pod (full bipartite).
+    for pod in 0..k {
+        for (ai, agg) in agg_ids[pod].iter().enumerate() {
+            for (ei, edge) in edge_ids[pod].iter().enumerate() {
+                // Agg downlink port = ei+1; edge uplink port = half + ai + 1.
+                topo.add_link(
+                    SwitchPort::new(*agg, PortId(ei as u32 + 1)),
+                    SwitchPort::new(*edge, PortId((half + ai + 1) as u32)),
+                    SimTime::from_micros(LINK_LATENCY_US),
+                )
+                .expect("fat-tree agg-edge link");
+            }
+        }
+    }
+    // Hosts on edge switches, ports 1..=half.
+    let mut host_id = 1u32;
+    for (pod, edges) in edge_ids.iter().enumerate() {
+        for edge in edges {
+            for h in 0..half {
+                let client = ClientId((host_id - 1) % client_count.max(1) as u32 + 1);
+                topo.add_host(
+                    HostId(host_id),
+                    BASE_IP + host_id,
+                    SwitchPort::new(*edge, PortId(h as u32 + 1)),
+                    client,
+                    GeoPoint::new(pod as f64 * 10.0, 0.0, region_for(pod, &DEFAULT_REGIONS)),
+                )
+                .expect("fat-tree host attachment");
+                host_id += 1;
+            }
+        }
+    }
+    topo
+}
+
+/// A Waxman-style random wide-area network spread over `regions`.
+///
+/// `n` switches are placed uniformly at random on a 1000x1000 plane divided
+/// into vertical stripes, one per region. Each pair of switches is connected
+/// with probability `alpha * exp(-d / (beta * L))` (Waxman 1988), and the
+/// result is patched up to be connected by chaining any disconnected
+/// components. Each switch gets one host; hosts are assigned to clients
+/// round-robin.
+#[must_use]
+pub fn waxman_wan(
+    n: usize,
+    client_count: usize,
+    regions: &[&str],
+    alpha: f64,
+    beta: f64,
+    seed: u64,
+) -> Topology {
+    assert!(n >= 2, "a WAN needs at least 2 switches");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    let plane = 1000.0;
+    let stripe = plane / regions.len() as f64;
+
+    let mut positions = Vec::with_capacity(n);
+    for i in 1..=n {
+        let x: f64 = rng.gen_range(0.0..plane);
+        let y: f64 = rng.gen_range(0.0..plane);
+        let region_idx = (x / stripe) as usize % regions.len();
+        let region = Region::new(regions[region_idx]);
+        positions.push((x, y, region.clone()));
+        // Port budget: up to n-1 inter-switch ports plus 4 edge ports.
+        topo.add_switch(SwitchId(i as u32), n + 3, GeoPoint::new(x, y, region));
+    }
+
+    // Track the next free inter-switch port per switch (starting after the 4
+    // reserved edge ports).
+    let mut next_port: Vec<u32> = vec![5; n + 1];
+    let diag = (2.0f64).sqrt() * plane;
+    let connect = |topo: &mut Topology, next_port: &mut Vec<u32>, a: usize, b: usize| {
+        let pa = next_port[a];
+        let pb = next_port[b];
+        next_port[a] += 1;
+        next_port[b] += 1;
+        let latency = SimTime::from_micros(
+            10 + (GeoPoint::new(positions[a - 1].0, positions[a - 1].1, Region::unknown())
+                .distance(&GeoPoint::new(
+                    positions[b - 1].0,
+                    positions[b - 1].1,
+                    Region::unknown(),
+                )) as u64)
+                / 10,
+        );
+        topo.add_link(
+            SwitchPort::new(SwitchId(a as u32), PortId(pa)),
+            SwitchPort::new(SwitchId(b as u32), PortId(pb)),
+            latency,
+        )
+        .expect("waxman link endpoints exist");
+    };
+
+    for a in 1..=n {
+        for b in a + 1..=n {
+            let d = GeoPoint::new(positions[a - 1].0, positions[a - 1].1, Region::unknown())
+                .distance(&GeoPoint::new(
+                    positions[b - 1].0,
+                    positions[b - 1].1,
+                    Region::unknown(),
+                ));
+            let p = alpha * (-d / (beta * diag)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                connect(&mut topo, &mut next_port, a, b);
+            }
+        }
+    }
+    // Ensure connectivity: chain representative nodes of components.
+    loop {
+        if topo.is_connected() {
+            break;
+        }
+        // Find a node unreachable from switch 1 and connect it to switch 1's
+        // component via the closest reachable node.
+        let reachable: Vec<SwitchId> = (1..=n as u32)
+            .map(SwitchId)
+            .filter(|s| topo.shortest_path(SwitchId(1), *s).is_some())
+            .collect();
+        let unreachable = (1..=n as u32)
+            .map(SwitchId)
+            .find(|s| !reachable.contains(s))
+            .expect("disconnected implies an unreachable switch");
+        connect(
+            &mut topo,
+            &mut next_port,
+            reachable.last().expect("component non-empty").0 as usize,
+            unreachable.0 as usize,
+        );
+    }
+
+    // One host per switch on port 1.
+    for i in 1..=n {
+        let client = ClientId((i - 1) as u32 % client_count.max(1) as u32 + 1);
+        let (x, y, region) = positions[i - 1].clone();
+        topo.add_host(
+            HostId(i as u32),
+            BASE_IP + i as u32,
+            SwitchPort::new(SwitchId(i as u32), PortId(1)),
+            client,
+            GeoPoint::new(x, y - 1.0, region),
+        )
+        .expect("waxman host attachment");
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let t = line(5, 2);
+        assert_eq!(t.switch_count(), 5);
+        assert_eq!(t.host_count(), 5);
+        assert_eq!(t.link_count(), 4);
+        assert!(t.is_connected());
+        // Clients alternate 1,2,1,2,1.
+        assert_eq!(t.hosts_of_client(ClientId(1)).len(), 3);
+        assert_eq!(t.hosts_of_client(ClientId(2)).len(), 2);
+        // Path from s1 to s5 has 5 hops.
+        assert_eq!(
+            t.shortest_path(SwitchId(1), SwitchId(5)).unwrap().len(),
+            5
+        );
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(4, 1);
+        assert_eq!(t.link_count(), 4);
+        assert!(t.is_connected());
+        // Opposite nodes are 2 hops apart either way (path length 3 nodes).
+        assert_eq!(
+            t.shortest_path(SwitchId(1), SwitchId(3)).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_requires_three_switches() {
+        let _ = ring(2, 1);
+    }
+
+    #[test]
+    fn leaf_spine_structure() {
+        let t = leaf_spine(2, 4, 3, 7);
+        assert_eq!(t.switch_count(), 6);
+        assert_eq!(t.host_count(), 12);
+        assert_eq!(t.link_count(), 8);
+        assert!(t.is_connected());
+        // Every leaf connects to every spine: leaf 3 (id 2+1=3) neighbors = spines {1,2}.
+        assert_eq!(t.neighbors(SwitchId(3)), vec![SwitchId(1), SwitchId(2)]);
+        // 3 clients, 4 hosts each.
+        assert_eq!(t.clients().len(), 3);
+        assert_eq!(t.hosts_of_client(ClientId(1)).len(), 4);
+        // Host-to-host path leaf -> spine -> leaf.
+        let p = t.shortest_path(SwitchId(3), SwitchId(4)).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn fat_tree_structure() {
+        let k = 4;
+        let t = fat_tree(k, 4);
+        let half = k / 2;
+        let expected_switches = half * half + k * k; // cores + (agg+edge) per pod
+        assert_eq!(t.switch_count(), expected_switches);
+        assert_eq!(t.host_count(), k * half * half); // 16 for k=4
+        assert!(t.is_connected());
+        // Expected link count: core-agg (k * half * half) + agg-edge (k * half * half).
+        assert_eq!(t.link_count(), 2 * k * half * half);
+        // Every host is reachable from every other host's edge switch.
+        let hosts: Vec<_> = t.hosts().collect();
+        let a = hosts[0].attachment.switch;
+        let b = hosts[hosts.len() - 1].attachment.switch;
+        assert!(t.shortest_path(a, b).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_requires_even_arity() {
+        let _ = fat_tree(3, 1);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let t1 = waxman_wan(20, 4, &DEFAULT_REGIONS, 0.4, 0.2, 99);
+        let t2 = waxman_wan(20, 4, &DEFAULT_REGIONS, 0.4, 0.2, 99);
+        assert!(t1.is_connected());
+        assert_eq!(t1.switch_count(), 20);
+        assert_eq!(t1.host_count(), 20);
+        assert_eq!(t1.link_count(), t2.link_count(), "same seed, same graph");
+        // Regions are assigned from the provided list.
+        for s in t1.switches() {
+            assert!(DEFAULT_REGIONS.contains(&s.location.region.label()));
+        }
+        // Different seed gives (almost surely) a different graph.
+        let t3 = waxman_wan(20, 4, &DEFAULT_REGIONS, 0.4, 0.2, 100);
+        assert!(t3.is_connected());
+    }
+
+    #[test]
+    fn generated_hosts_have_unique_ips_and_valid_attachments() {
+        for topo in [
+            line(6, 3),
+            leaf_spine(2, 3, 2, 1),
+            fat_tree(4, 2),
+            waxman_wan(12, 3, &DEFAULT_REGIONS, 0.5, 0.3, 5),
+        ] {
+            let mut ips: Vec<u32> = topo.hosts().map(|h| h.ip).collect();
+            let before = ips.len();
+            ips.sort_unstable();
+            ips.dedup();
+            assert_eq!(ips.len(), before, "duplicate host IPs");
+            for h in topo.hosts() {
+                // Attachment port exists and is an edge port.
+                assert!(topo.edge_ports(h.attachment.switch).contains(&h.attachment.port));
+            }
+        }
+    }
+}

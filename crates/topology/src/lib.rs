@@ -1,0 +1,36 @@
+//! # rvaas-topology
+//!
+//! The physical-network model and a family of topology generators.
+//!
+//! The RVaaS threat model (paper Section III) assumes that switches, links
+//! and the *wiring plan* are trusted and known: "Internal network ports are
+//! known, and follow a well-defined wiring plan." This crate is that wiring
+//! plan: a [`Topology`] records switches (with their ports and geographic
+//! location), hosts (attached to access-point ports and owned by clients),
+//! and internal links. The provider controller installs rules over it, the
+//! simulator executes it, and the RVaaS controller receives it as trusted
+//! deployment-time input.
+//!
+//! Generators cover the shapes used by the experiments: small hand-built
+//! lines/rings for tests, fat-trees and leaf-spines for datacenter scenarios,
+//! and a Waxman-style random WAN with per-region placement for the
+//! geo-location case study.
+//!
+//! # Example
+//!
+//! ```
+//! use rvaas_topology::{generators, Topology};
+//!
+//! let topo = generators::leaf_spine(2, 4, 2, 42);
+//! assert_eq!(topo.switch_count(), 2 + 4);
+//! assert_eq!(topo.host_count(), 4 * 2);
+//! assert!(topo.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod model;
+
+pub use model::{Host, Link, Switch, Topology};

@@ -1,0 +1,489 @@
+//! The topology data model: switches, hosts, links and client attachment.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use rvaas_types::{
+    ClientId, Error, GeoPoint, HostId, LinkId, PortId, Result, SimTime, SwitchId, SwitchPort,
+};
+
+/// A data-plane switch with its ports and physical location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Switch {
+    /// The switch identifier (datapath id).
+    pub id: SwitchId,
+    /// All ports of the switch (internal and edge).
+    pub ports: Vec<PortId>,
+    /// Physical location (used by geo-location queries).
+    pub location: GeoPoint,
+}
+
+/// An end host attached to an access-point port and owned by a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// The host identifier.
+    pub id: HostId,
+    /// IPv4 address of the host (used as the routing identifier).
+    pub ip: u32,
+    /// The access point the host is attached to.
+    pub attachment: SwitchPort,
+    /// The client (tenant) owning this host.
+    pub owner: ClientId,
+    /// Physical location of the host.
+    pub location: GeoPoint,
+}
+
+/// A bidirectional internal link between two switch ports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// The link identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: SwitchPort,
+    /// The other endpoint.
+    pub b: SwitchPort,
+    /// Propagation latency of the link.
+    pub latency: SimTime,
+}
+
+impl Link {
+    /// Returns the opposite endpoint if `port` is one of the link's ends.
+    #[must_use]
+    pub fn peer_of(&self, port: SwitchPort) -> Option<SwitchPort> {
+        if self.a == port {
+            Some(self.b)
+        } else if self.b == port {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// The trusted physical topology: the "wiring plan" of the provider network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    switches: BTreeMap<SwitchId, Switch>,
+    hosts: BTreeMap<HostId, Host>,
+    links: BTreeMap<LinkId, Link>,
+    /// Port-level adjacency derived from `links` (both directions).
+    adjacency: BTreeMap<SwitchPort, SwitchPort>,
+    next_link_id: u32,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a switch. Replaces any existing switch with the same id.
+    pub fn add_switch(&mut self, id: SwitchId, ports: usize, location: GeoPoint) {
+        let ports = (1..=ports as u32).map(PortId).collect();
+        self.switches.insert(
+            id,
+            Switch {
+                id,
+                ports,
+                location,
+            },
+        );
+    }
+
+    /// Adds a host attached at `attachment`, owned by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attachment switch or port does not exist, or
+    /// if the port is already used by an internal link.
+    pub fn add_host(
+        &mut self,
+        id: HostId,
+        ip: u32,
+        attachment: SwitchPort,
+        owner: ClientId,
+        location: GeoPoint,
+    ) -> Result<()> {
+        let switch = self
+            .switches
+            .get(&attachment.switch)
+            .ok_or(Error::UnknownSwitch(attachment.switch.0))?;
+        if !switch.ports.contains(&attachment.port) {
+            return Err(Error::UnknownPort {
+                switch: attachment.switch.0,
+                port: attachment.port.0,
+            });
+        }
+        if self.adjacency.contains_key(&attachment) {
+            return Err(Error::internal(format!(
+                "port {attachment} is wired internally and cannot host {id}"
+            )));
+        }
+        self.hosts.insert(
+            id,
+            Host {
+                id,
+                ip,
+                attachment,
+                owner,
+                location,
+            },
+        );
+        Ok(())
+    }
+
+    /// Connects two switch ports with a link of the given latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint does not exist or is already wired.
+    pub fn add_link(&mut self, a: SwitchPort, b: SwitchPort, latency: SimTime) -> Result<LinkId> {
+        for end in [a, b] {
+            let switch = self
+                .switches
+                .get(&end.switch)
+                .ok_or(Error::UnknownSwitch(end.switch.0))?;
+            if !switch.ports.contains(&end.port) {
+                return Err(Error::UnknownPort {
+                    switch: end.switch.0,
+                    port: end.port.0,
+                });
+            }
+            if self.adjacency.contains_key(&end) {
+                return Err(Error::internal(format!("port {end} already wired")));
+            }
+        }
+        let id = LinkId(self.next_link_id);
+        self.next_link_id += 1;
+        self.links.insert(id, Link { id, a, b, latency });
+        self.adjacency.insert(a, b);
+        self.adjacency.insert(b, a);
+        Ok(id)
+    }
+
+    /// Returns the switch with the given id.
+    #[must_use]
+    pub fn switch(&self, id: SwitchId) -> Option<&Switch> {
+        self.switches.get(&id)
+    }
+
+    /// Returns the host with the given id.
+    #[must_use]
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.hosts.get(&id)
+    }
+
+    /// Returns the host attached at the given access point, if any.
+    #[must_use]
+    pub fn host_at(&self, port: SwitchPort) -> Option<&Host> {
+        self.hosts.values().find(|h| h.attachment == port)
+    }
+
+    /// Returns the host with the given IP address, if any.
+    #[must_use]
+    pub fn host_by_ip(&self, ip: u32) -> Option<&Host> {
+        self.hosts.values().find(|h| h.ip == ip)
+    }
+
+    /// Returns the link with the given id.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(&id)
+    }
+
+    /// The internal peer port of `port`, if wired.
+    #[must_use]
+    pub fn link_peer(&self, port: SwitchPort) -> Option<SwitchPort> {
+        self.adjacency.get(&port).copied()
+    }
+
+    /// Iterates over all switches.
+    pub fn switches(&self) -> impl Iterator<Item = &Switch> {
+        self.switches.values()
+    }
+
+    /// Iterates over all hosts.
+    pub fn hosts(&self) -> impl Iterator<Item = &Host> {
+        self.hosts.values()
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.values()
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of hosts.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The hosts owned by a client.
+    #[must_use]
+    pub fn hosts_of_client(&self, client: ClientId) -> Vec<&Host> {
+        self.hosts.values().filter(|h| h.owner == client).collect()
+    }
+
+    /// The access points (host attachment ports) of a client.
+    #[must_use]
+    pub fn access_points_of(&self, client: ClientId) -> Vec<SwitchPort> {
+        let mut ports: Vec<SwitchPort> = self
+            .hosts_of_client(client)
+            .iter()
+            .map(|h| h.attachment)
+            .collect();
+        ports.sort();
+        ports
+    }
+
+    /// All clients with at least one host.
+    #[must_use]
+    pub fn clients(&self) -> Vec<ClientId> {
+        let set: BTreeSet<ClientId> = self.hosts.values().map(|h| h.owner).collect();
+        set.into_iter().collect()
+    }
+
+    /// Edge ports of a switch: ports without an internal link (access points,
+    /// whether or not a host is currently attached).
+    #[must_use]
+    pub fn edge_ports(&self, switch: SwitchId) -> Vec<PortId> {
+        self.switches
+            .get(&switch)
+            .map(|s| {
+                s.ports
+                    .iter()
+                    .copied()
+                    .filter(|p| !self.adjacency.contains_key(&SwitchPort::new(switch, *p)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Switch-level neighbours of `switch`.
+    #[must_use]
+    pub fn neighbors(&self, switch: SwitchId) -> Vec<SwitchId> {
+        let mut out: Vec<SwitchId> = self
+            .links
+            .values()
+            .filter_map(|l| {
+                if l.a.switch == switch {
+                    Some(l.b.switch)
+                } else if l.b.switch == switch {
+                    Some(l.a.switch)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The port on `from` that leads directly to `to`, if the switches are
+    /// adjacent.
+    #[must_use]
+    pub fn port_towards(&self, from: SwitchId, to: SwitchId) -> Option<PortId> {
+        self.links.values().find_map(|l| {
+            if l.a.switch == from && l.b.switch == to {
+                Some(l.a.port)
+            } else if l.b.switch == from && l.a.switch == to {
+                Some(l.b.port)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// True if the switch graph is connected (single component); trivially
+    /// true for zero or one switch.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self.switches.keys().next().copied() else {
+            return true;
+        };
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        while let Some(s) = queue.pop_front() {
+            if !seen.insert(s) {
+                continue;
+            }
+            for n in self.neighbors(s) {
+                if !seen.contains(&n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen.len() == self.switches.len()
+    }
+
+    /// Shortest switch-level path (BFS, hop count) between two switches,
+    /// including both endpoints. `None` if unreachable.
+    #[must_use]
+    pub fn shortest_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<SwitchId, SwitchId> = BTreeMap::new();
+        let mut seen = BTreeSet::from([from]);
+        let mut queue = VecDeque::from([from]);
+        while let Some(s) = queue.pop_front() {
+            for n in self.neighbors(s) {
+                if seen.insert(n) {
+                    prev.insert(n, s);
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns all hosts *not* owned by `client` (potential "other tenants").
+    #[must_use]
+    pub fn foreign_hosts(&self, client: ClientId) -> Vec<&Host> {
+        self.hosts.values().filter(|h| h.owner != client).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_types::Region;
+
+    fn loc() -> GeoPoint {
+        GeoPoint::new(0.0, 0.0, Region::new("EU"))
+    }
+
+    fn sp(s: u32, p: u32) -> SwitchPort {
+        SwitchPort::new(SwitchId(s), PortId(p))
+    }
+
+    fn small_topo() -> Topology {
+        // s1 -(p3/p3)- s2, host h1 on s1:p1 (client 1), host h2 on s2:p1 (client 2)
+        let mut t = Topology::new();
+        t.add_switch(SwitchId(1), 3, loc());
+        t.add_switch(SwitchId(2), 3, loc());
+        t.add_link(sp(1, 3), sp(2, 3), SimTime::from_micros(10))
+            .unwrap();
+        t.add_host(HostId(1), 0x0a000001, sp(1, 1), ClientId(1), loc())
+            .unwrap();
+        t.add_host(HostId(2), 0x0a000002, sp(2, 1), ClientId(2), loc())
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn counts_and_lookups() {
+        let t = small_topo();
+        assert_eq!(t.switch_count(), 2);
+        assert_eq!(t.host_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.host_by_ip(0x0a000001).unwrap().id, HostId(1));
+        assert_eq!(t.host_at(sp(2, 1)).unwrap().id, HostId(2));
+        assert!(t.host_at(sp(1, 2)).is_none());
+        assert_eq!(t.switch(SwitchId(1)).unwrap().ports.len(), 3);
+        assert!(t.switch(SwitchId(9)).is_none());
+    }
+
+    #[test]
+    fn adjacency_and_peer() {
+        let t = small_topo();
+        assert_eq!(t.link_peer(sp(1, 3)), Some(sp(2, 3)));
+        assert_eq!(t.link_peer(sp(2, 3)), Some(sp(1, 3)));
+        assert_eq!(t.link_peer(sp(1, 1)), None);
+        assert_eq!(t.neighbors(SwitchId(1)), vec![SwitchId(2)]);
+        assert_eq!(t.port_towards(SwitchId(1), SwitchId(2)), Some(PortId(3)));
+        assert_eq!(t.port_towards(SwitchId(2), SwitchId(1)), Some(PortId(3)));
+        assert_eq!(t.port_towards(SwitchId(1), SwitchId(9)), None);
+        let link = t.links().next().unwrap();
+        assert_eq!(link.peer_of(sp(1, 3)), Some(sp(2, 3)));
+        assert_eq!(link.peer_of(sp(9, 9)), None);
+    }
+
+    #[test]
+    fn edge_ports_exclude_wired_ports() {
+        let t = small_topo();
+        assert_eq!(t.edge_ports(SwitchId(1)), vec![PortId(1), PortId(2)]);
+        assert_eq!(t.edge_ports(SwitchId(9)), Vec::<PortId>::new());
+    }
+
+    #[test]
+    fn client_views() {
+        let t = small_topo();
+        assert_eq!(t.clients(), vec![ClientId(1), ClientId(2)]);
+        assert_eq!(t.access_points_of(ClientId(1)), vec![sp(1, 1)]);
+        assert_eq!(t.hosts_of_client(ClientId(2)).len(), 1);
+        assert_eq!(t.foreign_hosts(ClientId(1)).len(), 1);
+    }
+
+    #[test]
+    fn connectivity_and_paths() {
+        let t = small_topo();
+        assert!(t.is_connected());
+        assert_eq!(
+            t.shortest_path(SwitchId(1), SwitchId(2)),
+            Some(vec![SwitchId(1), SwitchId(2)])
+        );
+        assert_eq!(t.shortest_path(SwitchId(1), SwitchId(1)), Some(vec![SwitchId(1)]));
+
+        let mut disconnected = small_topo();
+        disconnected.add_switch(SwitchId(3), 2, loc());
+        assert!(!disconnected.is_connected());
+        assert_eq!(disconnected.shortest_path(SwitchId(1), SwitchId(3)), None);
+        assert!(Topology::new().is_connected());
+    }
+
+    #[test]
+    fn add_host_validates_attachment() {
+        let mut t = small_topo();
+        // Unknown switch.
+        assert!(t
+            .add_host(HostId(3), 5, sp(9, 1), ClientId(1), loc())
+            .is_err());
+        // Unknown port.
+        assert!(t
+            .add_host(HostId(3), 5, sp(1, 9), ClientId(1), loc())
+            .is_err());
+        // Port wired internally.
+        assert!(t
+            .add_host(HostId(3), 5, sp(1, 3), ClientId(1), loc())
+            .is_err());
+    }
+
+    #[test]
+    fn add_link_validates_endpoints() {
+        let mut t = small_topo();
+        assert!(t.add_link(sp(1, 9), sp(2, 2), SimTime::ZERO).is_err());
+        assert!(t.add_link(sp(9, 1), sp(2, 2), SimTime::ZERO).is_err());
+        // Port already wired.
+        assert!(t.add_link(sp(1, 3), sp(2, 2), SimTime::ZERO).is_err());
+        // Valid link gets a fresh id.
+        let id = t.add_link(sp(1, 2), sp(2, 2), SimTime::ZERO).unwrap();
+        assert_eq!(id, LinkId(1));
+        assert_eq!(t.link(id).unwrap().latency, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,23 @@
+//! # rvaas-workloads
+//!
+//! Scenario and workload construction shared by the examples, the
+//! integration tests and the benchmark harness.
+//!
+//! The central type is [`Scenario`]: a fully wired simulation — topology,
+//! (possibly compromised) provider controller, RVaaS controller, and a client
+//! agent on every host — built from a declarative [`ScenarioBuilder`]. The
+//! scenario runs the simulator and exposes the *observable* outcome: the
+//! signed query replies each client received, plus the controller statistics,
+//! so experiments measure exactly what a real client could measure.
+//!
+//! The [`locations`] module builds degraded switch-location maps
+//! (crowd-sourced / inferred) for the geo-location accuracy experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod locations;
+pub mod scenario;
+
+pub use locations::{crowd_sourced_map, inferred_map};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};

@@ -1,0 +1,123 @@
+//! Degraded switch-location knowledge for the geo-location experiments.
+//!
+//! Paper Section IV-B2 lists three ways RVaaS can learn switch locations:
+//! disclosure by the infrastructure provider, crowd-sourcing from clients,
+//! and passive inference (geo-IP, DNS, timezones). Only disclosure is exact;
+//! the other two are modelled here as controlled degradations of the ground
+//! truth so that the geo-accuracy experiment can sweep their quality.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rvaas::LocationMap;
+use rvaas_topology::Topology;
+use rvaas_types::Region;
+
+/// Crowd-sourced locations: only switches "near" a reporting client are
+/// known. `coverage` is the fraction of switches whose region is learnt
+/// (selected uniformly at random); the rest stay unknown.
+#[must_use]
+pub fn crowd_sourced_map(topology: &Topology, coverage: f64, seed: u64) -> LocationMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut switches: Vec<_> = topology.switches().collect();
+    switches.shuffle(&mut rng);
+    let known = ((switches.len() as f64) * coverage.clamp(0.0, 1.0)).round() as usize;
+    let mut map = LocationMap::new();
+    for sw in switches.into_iter().take(known) {
+        map.set(sw.id, sw.location.region.clone());
+    }
+    map
+}
+
+/// Inferred locations (geo-IP / DNS / timezone estimation): every switch gets
+/// *some* region, but each is wrong with probability `error_rate` (replaced
+/// by a region drawn from the label pool).
+#[must_use]
+pub fn inferred_map(
+    topology: &Topology,
+    error_rate: f64,
+    label_pool: &[&str],
+    seed: u64,
+) -> LocationMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map = LocationMap::new();
+    for sw in topology.switches() {
+        let truth = sw.location.region.clone();
+        let region = if rng.gen_bool(error_rate.clamp(0.0, 1.0)) && !label_pool.is_empty() {
+            // Pick a wrong label if possible.
+            let wrong: Vec<&&str> = label_pool
+                .iter()
+                .filter(|l| **l != truth.label())
+                .collect();
+            match wrong.choose(&mut rng) {
+                Some(l) => Region::new(**l),
+                None => truth,
+            }
+        } else {
+            truth
+        };
+        map.set(sw.id, region);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_topology::generators;
+
+    #[test]
+    fn crowd_sourced_coverage_controls_known_count() {
+        let topo = generators::line(10, 2);
+        assert_eq!(crowd_sourced_map(&topo, 0.0, 1).known_count(), 0);
+        assert_eq!(crowd_sourced_map(&topo, 0.5, 1).known_count(), 5);
+        assert_eq!(crowd_sourced_map(&topo, 1.0, 1).known_count(), 10);
+        // Out-of-range coverage is clamped.
+        assert_eq!(crowd_sourced_map(&topo, 2.0, 1).known_count(), 10);
+    }
+
+    #[test]
+    fn crowd_sourced_known_entries_are_correct() {
+        let topo = generators::line(8, 2);
+        let map = crowd_sourced_map(&topo, 0.5, 7);
+        for sw in topo.switches() {
+            let learnt = map.region_of(sw.id);
+            if !learnt.is_unknown() {
+                assert_eq!(learnt, sw.location.region);
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_map_error_rate_extremes() {
+        let topo = generators::line(10, 2);
+        let labels = rvaas_topology::generators::DEFAULT_REGIONS;
+        let exact = inferred_map(&topo, 0.0, &labels, 3);
+        for sw in topo.switches() {
+            assert_eq!(exact.region_of(sw.id), sw.location.region);
+        }
+        let noisy = inferred_map(&topo, 1.0, &labels, 3);
+        let wrong = topo
+            .switches()
+            .filter(|sw| noisy.region_of(sw.id) != sw.location.region)
+            .count();
+        assert_eq!(wrong, 10, "with error rate 1.0 every label is wrong");
+        // All switches still have *some* (non-unknown) label.
+        assert!(topo.switches().all(|sw| !noisy.region_of(sw.id).is_unknown()));
+    }
+
+    #[test]
+    fn maps_are_deterministic_per_seed() {
+        let topo = generators::line(10, 2);
+        let labels = rvaas_topology::generators::DEFAULT_REGIONS;
+        assert_eq!(
+            crowd_sourced_map(&topo, 0.5, 42),
+            crowd_sourced_map(&topo, 0.5, 42)
+        );
+        assert_eq!(
+            inferred_map(&topo, 0.3, &labels, 42),
+            inferred_map(&topo, 0.3, &labels, 42)
+        );
+    }
+}
