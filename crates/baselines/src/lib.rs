@@ -282,7 +282,9 @@ mod tests {
     fn trajectory_sampling_depends_on_operator_honesty() {
         let mut net = network_with(vec![]);
         let _ = probe_connectivity(&mut net, ClientId(1), SimTime::from_millis(10));
-        let honest = TrajectorySamplingBaseline { operator_honest: true };
+        let honest = TrajectorySamplingBaseline {
+            operator_honest: true,
+        };
         let samples = honest.sample(&net, ClientId(1));
         assert!(!samples.is_empty());
         // All regions of the benign line path are allowed -> no violation.
@@ -293,10 +295,17 @@ mod tests {
             .collect();
         assert!(!honest.detects_geo_violation(&samples, &allowed));
         // A restricted allow-list triggers detection for the honest operator.
-        assert!(honest.detects_geo_violation(&samples, &[Region::new("EU")]) || samples.iter().all(|(_, r)| r.iter().all(|x| x.label() == "EU")));
+        assert!(
+            honest.detects_geo_violation(&samples, &[Region::new("EU")])
+                || samples
+                    .iter()
+                    .all(|(_, r)| r.iter().all(|x| x.label() == "EU"))
+        );
 
         // The compromised operator reports nothing, so nothing is detected.
-        let dishonest = TrajectorySamplingBaseline { operator_honest: false };
+        let dishonest = TrajectorySamplingBaseline {
+            operator_honest: false,
+        };
         assert!(dishonest.sample(&net, ClientId(1)).is_empty());
         assert!(!dishonest.detects_geo_violation(&[], &[Region::new("EU")]));
     }

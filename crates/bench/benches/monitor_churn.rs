@@ -10,26 +10,33 @@ fn bench_monitor_churn(c: &mut Criterion) {
     let mut group = c.benchmark_group("monitor_churn");
     for events in [1_000u32, 10_000] {
         group.throughput(Throughput::Elements(u64::from(events)));
-        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &events| {
-            b.iter(|| {
-                let mut monitor = ConfigMonitor::new(MonitorConfig::default());
-                for i in 0..events {
-                    let entry =
-                        FlowEntry::new(10, FlowMatch::to_ip(i), vec![Action::Output(PortId(1))]);
-                    monitor.on_switch_message(
-                        SwitchId(i % 16),
-                        &Message::FlowMonitorNotify {
-                            switch: SwitchId(i % 16),
-                            entry,
-                            added: true,
-                            at: SimTime::from_micros(u64::from(i)),
-                        },
-                        SimTime::from_micros(u64::from(i)),
-                    );
-                }
-                monitor.snapshot().rule_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let mut monitor = ConfigMonitor::new(MonitorConfig::default());
+                    for i in 0..events {
+                        let entry = FlowEntry::new(
+                            10,
+                            FlowMatch::to_ip(i),
+                            vec![Action::Output(PortId(1))],
+                        );
+                        monitor.on_switch_message(
+                            SwitchId(i % 16),
+                            &Message::FlowMonitorNotify {
+                                switch: SwitchId(i % 16),
+                                entry,
+                                added: true,
+                                at: SimTime::from_micros(u64::from(i)),
+                            },
+                            SimTime::from_micros(u64::from(i)),
+                        );
+                    }
+                    monitor.snapshot().rule_count()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,8 +16,8 @@ use rvaas_baselines::{
     probe_connectivity, AckOnlyBaseline, TracerouteBaseline, TrajectorySamplingBaseline,
 };
 use rvaas_client::{QueryResult, QuerySpec};
-use rvaas_controlplane::{benign_rules, Attack, ProviderController, ScheduledAttack};
 use rvaas_controlplane::attack::Flapping;
+use rvaas_controlplane::{benign_rules, Attack, ProviderController, ScheduledAttack};
 use rvaas_crypto::{Keypair, SignatureScheme};
 use rvaas_enclave::Platform;
 use rvaas_netsim::{Network, NetworkConfig};
@@ -27,8 +27,8 @@ use rvaas_types::{ClientId, HostId, ProviderId, Region, SimTime};
 use rvaas_workloads::{crowd_sourced_map, inferred_map, ScenarioBuilder};
 
 /// All experiment identifiers accepted by [`run_experiment`].
-pub const EXPERIMENT_IDS: [&str; 12] = [
-    "f1", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "a1", "a2",
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "f1", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "a1", "a2", "s1",
 ];
 
 /// Runs one experiment by id (lower-case, e.g. `"t1"`), printing its table.
@@ -47,6 +47,7 @@ pub fn run_experiment(id: &str) -> Vec<String> {
         "t9" => exp_t9_neutrality(),
         "a1" => exp_a1_ablation_monitoring(),
         "a2" => exp_a2_ablation_inband(),
+        "s1" => emit(crate::service_throughput::exp_s1_service_throughput()),
         _ => {
             println!("unknown experiment id: {id}");
             Vec::new()
@@ -63,7 +64,13 @@ fn emit(rows: Vec<String>) -> Vec<String> {
 
 /// Detection verdict of a victim client from its verified reply.
 fn detected_isolation_violation(result: &QueryResult) -> bool {
-    matches!(result, QueryResult::IsolationStatus { isolated: false, .. })
+    matches!(
+        result,
+        QueryResult::IsolationStatus {
+            isolated: false,
+            ..
+        }
+    )
 }
 
 fn detected_foreign_endpoint(result: &QueryResult, victim: ClientId) -> bool {
@@ -144,7 +151,8 @@ pub fn exp_t1_isolation_detection() -> Vec<String> {
         "attack | rvaas | ack_only | traceroute | traj_sampling(compromised op)".to_string(),
     ];
     let trials = 5u32;
-    let attacks: Vec<(&str, fn(&Topology) -> Attack, QuerySpec)> = vec![
+    type AttackCase = (&'static str, fn(&Topology) -> Attack, QuerySpec);
+    let attacks: Vec<AttackCase> = vec![
         (
             "join",
             |_t| Attack::Join {
@@ -168,7 +176,13 @@ pub fn exp_t1_isolation_detection() -> Vec<String> {
             },
             QuerySpec::ReachableDestinations,
         ),
-        ("none (false positives)", |_t| Attack::Blackhole { victim_host: HostId(99) }, QuerySpec::Isolation),
+        (
+            "none (false positives)",
+            |_t| Attack::Blackhole {
+                victim_host: HostId(99),
+            },
+            QuerySpec::Isolation,
+        ),
     ];
 
     for (label, make_attack, spec) in attacks {
@@ -182,7 +196,10 @@ pub fn exp_t1_isolation_detection() -> Vec<String> {
             let h3_ip = topo.host(HostId(3)).unwrap().ip;
             // --- RVaaS ---
             let mut scenario = ScenarioBuilder::new(topo.clone())
-                .attack(ScheduledAttack::persistent(attack.clone(), SimTime::from_millis(2)))
+                .attack(ScheduledAttack::persistent(
+                    attack.clone(),
+                    SimTime::from_millis(2),
+                ))
                 .query(HostId(1), SimTime::from_millis(10), spec.clone())
                 .seed(u64::from(trial))
                 .build();
@@ -207,13 +224,18 @@ pub fn exp_t1_isolation_detection() -> Vec<String> {
             let mut attacked = Network::new(topo.clone(), NetworkConfig::default());
             attacked.add_controller(Box::new(ProviderController::compromised(
                 topo.clone(),
-                vec![ScheduledAttack::persistent(attack.clone(), SimTime::from_millis(2))],
+                vec![ScheduledAttack::persistent(
+                    attack.clone(),
+                    SimTime::from_millis(2),
+                )],
             )));
             attacked.run_until(SimTime::from_millis(5));
             let report = probe_connectivity(&mut attacked, ClientId(1), SimTime::from_millis(10));
             ack_hits += u32::from(AckOnlyBaseline.detects(&report));
             trace_hits += u32::from(calibrated.detects(&report));
-            let sampler = TrajectorySamplingBaseline { operator_honest: false };
+            let sampler = TrajectorySamplingBaseline {
+                operator_honest: false,
+            };
             let samples = sampler.sample(&attacked, ClientId(1));
             traj_hits += u32::from(sampler.detects_geo_violation(&samples, &[Region::new("EU")]));
         }
@@ -250,11 +272,18 @@ pub fn exp_t2_geo_accuracy() -> Vec<String> {
         let mut topo = Topology::new();
         topo.add_switch(SwitchId(1), 4, GeoPoint::new(0.0, 0.0, Region::new("EU")));
         topo.add_switch(SwitchId(2), 4, GeoPoint::new(10.0, 0.0, Region::new("EU")));
-        topo.add_switch(SwitchId(3), 4, GeoPoint::new(5.0, 10.0, Region::new("LATAM")));
+        topo.add_switch(
+            SwitchId(3),
+            4,
+            GeoPoint::new(5.0, 10.0, Region::new("LATAM")),
+        );
         let sp = |s: u32, p: u32| SwitchPort::new(SwitchId(s), PortId(p));
-        topo.add_link(sp(1, 2), sp(2, 2), SimTime::from_micros(10)).unwrap();
-        topo.add_link(sp(1, 3), sp(3, 2), SimTime::from_micros(10)).unwrap();
-        topo.add_link(sp(2, 3), sp(3, 3), SimTime::from_micros(10)).unwrap();
+        topo.add_link(sp(1, 2), sp(2, 2), SimTime::from_micros(10))
+            .unwrap();
+        topo.add_link(sp(1, 3), sp(3, 2), SimTime::from_micros(10))
+            .unwrap();
+        topo.add_link(sp(2, 3), sp(3, 3), SimTime::from_micros(10))
+            .unwrap();
         topo.add_host(
             HostId(1),
             0x0a00_0001,
@@ -273,8 +302,12 @@ pub fn exp_t2_geo_accuracy() -> Vec<String> {
         .unwrap();
         topo
     }
-    let sources: Vec<(String, Box<dyn Fn(&Topology, u64) -> LocationMap>)> = vec![
-        ("disclosed".to_string(), Box::new(|t: &Topology, _| LocationMap::disclosed(t))),
+    type MapSource = (String, Box<dyn Fn(&Topology, u64) -> LocationMap>);
+    let sources: Vec<MapSource> = vec![
+        (
+            "disclosed".to_string(),
+            Box::new(|t: &Topology, _| LocationMap::disclosed(t)),
+        ),
         (
             "crowd_sourced(75%)".to_string(),
             Box::new(|t: &Topology, s| crowd_sourced_map(t, 0.75, s)),
@@ -320,7 +353,9 @@ pub fn exp_t2_geo_accuracy() -> Vec<String> {
                 scenario.run_until(SimTime::from_millis(60));
                 let replies = scenario.replies_for(HostId(1));
                 let reported_forbidden = replies.first().is_some_and(|r| match &r.result {
-                    QueryResult::Regions { regions } => regions.contains(&forbidden.label().to_string()),
+                    QueryResult::Regions { regions } => {
+                        regions.contains(&forbidden.label().to_string())
+                    }
                     _ => false,
                 });
                 if attacked {
@@ -447,10 +482,16 @@ pub fn exp_t4_hsa_scaling() -> Vec<String> {
     let topologies: Vec<(String, Topology)> = vec![
         ("line(8)".into(), generators::line(8, 2)),
         ("line(32)".into(), generators::line(32, 4)),
-        ("leaf_spine(4,8,4)".into(), generators::leaf_spine(4, 8, 4, 1)),
+        (
+            "leaf_spine(4,8,4)".into(),
+            generators::leaf_spine(4, 8, 4, 1),
+        ),
         ("fat_tree(4)".into(), generators::fat_tree(4, 4)),
         ("fat_tree(6)".into(), generators::fat_tree(6, 6)),
-        ("waxman(48)".into(), generators::waxman_wan(48, 6, &generators::DEFAULT_REGIONS, 0.3, 0.15, 3)),
+        (
+            "waxman(48)".into(),
+            generators::waxman_wan(48, 6, &generators::DEFAULT_REGIONS, 0.3, 0.15, 3),
+        ),
     ];
     for (label, topo) in topologies {
         let mut snapshot = NetworkSnapshot::new(SimTime::from_secs(1));
@@ -486,7 +527,8 @@ pub fn exp_t4_hsa_scaling() -> Vec<String> {
 pub fn exp_t5_message_overhead() -> Vec<String> {
     let mut rows = vec![
         "# T5 — control-message overhead per query".to_string(),
-        "topology | switches | hosts | packet_ins | packet_outs | flow_mods | total_ctrl_msgs".to_string(),
+        "topology | switches | hosts | packet_ins | packet_outs | flow_mods | total_ctrl_msgs"
+            .to_string(),
     ];
     for (label, topo) in [
         ("leaf_spine(2,4,2)", generators::leaf_spine(2, 4, 2, 1)),
@@ -539,11 +581,7 @@ pub fn exp_t6_monitor_churn() -> Vec<String> {
         let mut monitor = ConfigMonitor::new(MonitorConfig::default());
         let start = Instant::now();
         for i in 0..events {
-            let entry = FlowEntry::new(
-                10,
-                FlowMatch::to_ip(i),
-                vec![Action::Output(PortId(1))],
-            );
+            let entry = FlowEntry::new(10, FlowMatch::to_ip(i), vec![Action::Output(PortId(1))]);
             monitor.on_switch_message(
                 SwitchId(i % 16),
                 &Message::FlowMonitorNotify {
@@ -640,7 +678,8 @@ pub fn exp_t8_attestation() -> Vec<String> {
         tampered.verify(&platform.quoting_public_key()).is_ok()
     ));
 
-    let mut substituted = AttestedIdentity::attest(&platform, RVAAS_IMAGE, genuine_key.public_key());
+    let mut substituted =
+        AttestedIdentity::attest(&platform, RVAAS_IMAGE, genuine_key.public_key());
     substituted.public_key = attacker_key.public_key();
     rows.push(format!(
         "key substitution | {}",
@@ -749,8 +788,14 @@ pub fn exp_a1_ablation_monitoring() -> Vec<String> {
             // ablation the relevant signal is the *loss counter* plus the
             // poll-driven convergence, both of which are observable:
             let lost = scenario.network().stats().control_lost;
-            let polls = scenario.network().stats().control_of_kind("flow_stats_request");
-            let replies = scenario.network().stats().control_of_kind("flow_stats_reply");
+            let polls = scenario
+                .network()
+                .stats()
+                .control_of_kind("flow_stats_request");
+            let replies = scenario
+                .network()
+                .stats()
+                .control_of_kind("flow_stats_reply");
             rows.push(format!(
                 "{loss:.1} | {poll_label} | lost_notifications={lost} | polls={polls},replies={replies}"
             ));
@@ -769,7 +814,8 @@ pub fn exp_a1_ablation_monitoring() -> Vec<String> {
 pub fn exp_a2_ablation_inband() -> Vec<String> {
     let mut rows = vec![
         "# A2 — ablation: logical-only vs logical + in-band authentication".to_string(),
-        "unresponsive_fraction | endpoints_reported | endpoints_authenticated | auth_gap_visible".to_string(),
+        "unresponsive_fraction | endpoints_reported | endpoints_authenticated | auth_gap_visible"
+            .to_string(),
     ];
     for unresponsive in [0usize, 1, 2] {
         let topo = generators::line(6, 2); // client 1 owns hosts 1,3,5
@@ -824,7 +870,10 @@ mod tests {
     fn t8_attestation_matrix_has_expected_shape() {
         let rows = exp_t8_attestation();
         assert_eq!(rows.len(), 6);
-        assert!(rows[2].contains("true"), "genuine identity accepted: {rows:?}");
+        assert!(
+            rows[2].contains("true"),
+            "genuine identity accepted: {rows:?}"
+        );
         assert!(rows[3].contains("false"), "tampered image rejected");
         assert!(rows[4].contains("false"), "key substitution rejected");
         assert!(rows[5].contains("false"), "wrong platform rejected");
@@ -840,7 +889,13 @@ mod tests {
     #[test]
     fn a2_reports_authentication_gap_for_silent_hosts() {
         let rows = exp_a2_ablation_inband();
-        assert!(rows[2].ends_with("false"), "no gap when everyone responds: {rows:?}");
-        assert!(rows.last().unwrap().ends_with("true"), "gap visible with silent hosts");
+        assert!(
+            rows[2].ends_with("false"),
+            "no gap when everyone responds: {rows:?}"
+        );
+        assert!(
+            rows.last().unwrap().ends_with("true"),
+            "gap visible with silent hosts"
+        );
     }
 }

@@ -15,5 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod service_throughput;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};
+pub use service_throughput::{exp_s1_service_throughput, measure, ServiceThroughputReport};

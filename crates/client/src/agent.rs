@@ -138,7 +138,12 @@ impl ClientAgent {
         query_packet(src_ip, &request)
     }
 
-    fn handle_auth_request(&mut self, packet_ip_dst: u32, msg: &crate::protocol::AuthRequest, ctx: &mut HostContext) {
+    fn handle_auth_request(
+        &mut self,
+        packet_ip_dst: u32,
+        msg: &crate::protocol::AuthRequest,
+        ctx: &mut HostContext,
+    ) {
         if !self.config.respond_to_auth {
             self.auth_ignored += 1;
             return;
@@ -218,8 +223,13 @@ impl HostApp for ClientAgent {
                 self.handle_auth_request(packet.header.ip_dst, &req, ctx);
             }
             InbandMessage::Reply(reply) => self.handle_reply(reply, ctx.now()),
-            // Queries and auth replies are never addressed to hosts.
-            InbandMessage::Query(_) | InbandMessage::AuthReply(_) => {}
+            // Queries and auth replies are never addressed to hosts; sync
+            // messages are handled by the service-plane session, not the
+            // in-band agent.
+            InbandMessage::Query(_)
+            | InbandMessage::AuthReply(_)
+            | InbandMessage::SyncRequest(_)
+            | InbandMessage::SyncResponse(_) => {}
         }
     }
 }
@@ -292,8 +302,12 @@ mod tests {
                 assert_eq!(reply.query, QueryId(7));
                 assert_eq!(reply.nonce, 555);
                 assert_eq!(reply.host_ip, 0x0a000003);
-                let signed =
-                    AuthReply::signed_bytes(reply.query, reply.nonce, reply.responder, reply.host_ip);
+                let signed = AuthReply::signed_bytes(
+                    reply.query,
+                    reply.nonce,
+                    reply.responder,
+                    reply.host_ip,
+                );
                 assert!(agent.public_key().verify(&signed, &reply.signature));
             }
             other => panic!("unexpected {other:?}"),

@@ -17,6 +17,8 @@
 //!   and their packet encodings.
 //! * [`agent`] — the [`ClientAgent`] host application: issues queries,
 //!   responds to authentication requests, verifies replies.
+//! * [`sync`] — the RTR-style delta-sync messages and the client-side
+//!   [`SyncSession`] state machine for mirroring service-plane epochs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,10 +26,14 @@
 pub mod agent;
 pub mod codec;
 pub mod protocol;
+pub mod sync;
 
 pub use agent::{ClientAgent, ClientAgentConfig, VerifiedReply};
 pub use protocol::{
     auth_reply_packet, auth_request_packet, decode_inband, query_packet, reply_packet, AuthReply,
     AuthRequest, EndpointReport, InbandMessage, NeutralityViolation, QueryReply, QueryRequest,
     QueryResult, QuerySpec, AUTH_PORT, QUERY_PORT, RVAAS_SERVICE_IP,
+};
+pub use sync::{
+    FlowDigest, ReverifiedQuery, SyncError, SyncPayload, SyncRequest, SyncResponse, SyncSession,
 };

@@ -27,7 +27,7 @@ pub const QUERY_PORT: u16 = 47_999;
 pub const AUTH_PORT: u16 = 48_000;
 
 /// What a client asks RVaaS about its traffic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum QuerySpec {
     /// Which destinations (other clients/hosts) can traffic from my access
     /// point reach?
@@ -50,7 +50,7 @@ pub enum QuerySpec {
 }
 
 impl QuerySpec {
-    fn encode(&self, w: &mut ByteWriter) {
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
         match self {
             QuerySpec::ReachableDestinations => w.put_u8(1),
             QuerySpec::ReachingSources => w.put_u8(2),
@@ -64,7 +64,7 @@ impl QuerySpec {
         }
     }
 
-    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
         Ok(match r.get_u8()? {
             1 => QuerySpec::ReachableDestinations,
             2 => QuerySpec::ReachingSources,
@@ -338,7 +338,7 @@ pub enum QueryResult {
 }
 
 impl QueryResult {
-    fn encode(&self, w: &mut ByteWriter) {
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
         match self {
             QueryResult::Endpoints { endpoints } => {
                 w.put_u8(1);
@@ -391,7 +391,7 @@ impl QueryResult {
         }
     }
 
-    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
         Ok(match r.get_u8()? {
             1 => QueryResult::Endpoints {
                 endpoints: decode_endpoints(r)?,
@@ -540,6 +540,10 @@ pub enum InbandMessage {
     AuthReply(AuthReply),
     /// An RVaaS query reply.
     Reply(QueryReply),
+    /// A client delta-sync request ("what changed since serial S").
+    SyncRequest(crate::sync::SyncRequest),
+    /// A service-plane delta-sync response.
+    SyncResponse(crate::sync::SyncResponse),
 }
 
 /// Decodes an in-band message from a raw packet payload.
@@ -552,9 +556,17 @@ pub fn decode_inband(payload: &[u8]) -> Result<InbandMessage> {
     let mut r = ByteReader::new(payload);
     match r.get_u8()? {
         WIRE_TAG_QUERY => Ok(InbandMessage::Query(QueryRequest::decode_body(&mut r)?)),
-        WIRE_TAG_AUTH_REQUEST => Ok(InbandMessage::AuthRequest(AuthRequest::decode_body(&mut r)?)),
+        WIRE_TAG_AUTH_REQUEST => Ok(InbandMessage::AuthRequest(AuthRequest::decode_body(
+            &mut r,
+        )?)),
         WIRE_TAG_AUTH_REPLY => Ok(InbandMessage::AuthReply(AuthReply::decode_body(&mut r)?)),
         WIRE_TAG_REPLY => Ok(InbandMessage::Reply(QueryReply::decode_body(&mut r)?)),
+        crate::sync::WIRE_TAG_SYNC_REQUEST => Ok(InbandMessage::SyncRequest(
+            crate::sync::SyncRequest::decode_body(&mut r)?,
+        )),
+        crate::sync::WIRE_TAG_SYNC_RESPONSE => Ok(InbandMessage::SyncResponse(
+            crate::sync::SyncResponse::decode_body(&mut r)?,
+        )),
         tag => Err(Error::codec(format!("unknown in-band message tag {tag}"))),
     }
 }

@@ -278,7 +278,9 @@ fn compile_exfiltrate(
     // even though it is addressed to the victim: rewrite the destination at
     // the collector's edge switch is not needed — instead install transit
     // rules along the path matching (dst = victim) toward the collector.
-    if let Some(path) = topology.shortest_path(victim.attachment.switch, collector.attachment.switch) {
+    if let Some(path) =
+        topology.shortest_path(victim.attachment.switch, collector.attachment.switch)
+    {
         for window in path.windows(2) {
             let (here, next) = (window[0], window[1]);
             if here == victim.attachment.switch {
@@ -326,12 +328,8 @@ fn compile_blackhole(topology: &Topology, victim_host: HostId) -> Vec<(SwitchId,
     };
     vec![add(
         victim.attachment.switch,
-        FlowEntry::new(
-            PRIO_ATTACK,
-            FlowMatch::to_ip(victim.ip),
-            vec![Action::Drop],
-        )
-        .with_cookie(ATTACK_COOKIE),
+        FlowEntry::new(PRIO_ATTACK, FlowMatch::to_ip(victim.ip), vec![Action::Drop])
+            .with_cookie(ATTACK_COOKIE),
     )]
 }
 
@@ -359,7 +357,10 @@ fn compile_throttle(
             FlowEntry::new(
                 PRIO_ATTACK,
                 FlowMatch::to_ip(victim.ip),
-                vec![Action::Meter(METER_ID), Action::Output(victim.attachment.port)],
+                vec![
+                    Action::Meter(METER_ID),
+                    Action::Output(victim.attachment.port),
+                ],
             )
             .with_cookie(ATTACK_COOKIE),
         ));
@@ -449,7 +450,9 @@ mod tests {
         assert!(removal.iter().all(|(_, m)| matches!(
             m,
             Message::FlowMod {
-                command: FlowModCommand::DeleteByCookie { cookie: ATTACK_COOKIE }
+                command: FlowModCommand::DeleteByCookie {
+                    cookie: ATTACK_COOKIE
+                }
             }
         )));
     }
@@ -466,8 +469,7 @@ mod tests {
         let msgs = attack.compile(&topo);
         assert!(!msgs.is_empty());
         // The detour passes switches beyond the direct 1->2 path.
-        let touched: std::collections::BTreeSet<SwitchId> =
-            msgs.iter().map(|(s, _)| *s).collect();
+        let touched: std::collections::BTreeSet<SwitchId> = msgs.iter().map(|(s, _)| *s).collect();
         assert!(touched.contains(&SwitchId(3)), "touched: {touched:?}");
     }
 
@@ -475,7 +477,7 @@ mod tests {
     fn exfiltrate_mirrors_to_collector() {
         let topo = generators::line(4, 2);
         let attack = Attack::Exfiltrate {
-            victim_host: HostId(1),   // client 1 on s1
+            victim_host: HostId(1),    // client 1 on s1
             collector_host: HostId(4), // client 2 on s4
         };
         let msgs = attack.compile(&topo);
@@ -514,22 +516,31 @@ mod tests {
         let msgs = throttle.compile(&topo);
         // 3 hosts of client 1 -> meter mod + flow mod each.
         assert_eq!(msgs.len(), 6);
-        assert!(msgs.iter().any(|(_, m)| matches!(m, Message::MeterMod { .. })));
+        assert!(msgs
+            .iter()
+            .any(|(_, m)| matches!(m, Message::MeterMod { .. })));
     }
 
     #[test]
     fn labels_and_schedules() {
         assert_eq!(
-            Attack::Blackhole { victim_host: HostId(1) }.label(),
+            Attack::Blackhole {
+                victim_host: HostId(1)
+            }
+            .label(),
             "blackhole"
         );
         let s = ScheduledAttack::persistent(
-            Attack::Blackhole { victim_host: HostId(1) },
+            Attack::Blackhole {
+                victim_host: HostId(1),
+            },
             SimTime::from_millis(5),
         );
         assert!(s.flapping.is_none());
         let f = ScheduledAttack::flapping(
-            Attack::Blackhole { victim_host: HostId(1) },
+            Attack::Blackhole {
+                victim_host: HostId(1),
+            },
             SimTime::from_millis(5),
             Flapping {
                 active: SimTime::from_millis(1),

@@ -100,7 +100,12 @@ impl ControllerApp for ProviderController {
         }
     }
 
-    fn on_switch_message(&mut self, _switch: SwitchId, _message: &Message, _ctx: &mut ControllerContext) {
+    fn on_switch_message(
+        &mut self,
+        _switch: SwitchId,
+        _message: &Message,
+        _ctx: &mut ControllerContext,
+    ) {
         // The provider controller does not react to data-plane events in the
         // scenarios modelled here; its job is rule installation.
     }

@@ -132,7 +132,10 @@ mod tests {
         let mut tables: std::collections::BTreeMap<SwitchId, Vec<rvaas_hsa::RuleTransfer>> =
             std::collections::BTreeMap::new();
         for (switch, entry) in benign_rules(topology) {
-            tables.entry(switch).or_default().push(entry.to_rule_transfer());
+            tables
+                .entry(switch)
+                .or_default()
+                .push(entry.to_rule_transfer());
         }
         for (switch, rules) in tables {
             nf.set_transfer(switch, SwitchTransfer::from_rules(rules));
@@ -188,7 +191,10 @@ mod tests {
         // admission rule requires src == h1.ip, so spoofed traffic is dropped.
         let spoofed = space_from_to(h3.ip, h1.ip);
         let reached = engine.reachable_edge_ports(h1.attachment, spoofed);
-        assert!(reached.is_empty(), "spoofed traffic must be dropped: {reached:?}");
+        assert!(
+            reached.is_empty(),
+            "spoofed traffic must be dropped: {reached:?}"
+        );
     }
 
     #[test]

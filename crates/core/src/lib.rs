@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod attest;
+pub mod backend;
 pub mod federation;
 pub mod monitor;
 pub mod service;
@@ -49,7 +50,8 @@ pub mod snapshot;
 pub mod verify;
 
 pub use attest::{AttestedIdentity, RVAAS_IMAGE};
+pub use backend::{AnalysisBackend, InlineBackend};
 pub use monitor::{ConfigMonitor, MonitorConfig, MonitorStats, PollStrategy};
 pub use service::{RvaasConfig, RvaasController, RvaasStats};
 pub use snapshot::NetworkSnapshot;
-pub use verify::{LocationMap, LogicalVerifier, VerifierConfig};
+pub use verify::{LocationMap, LogicalVerifier, QueryEvaluator, VerifierConfig};

@@ -145,7 +145,8 @@ impl ConfigMonitor {
             }
             Message::FlowStatsReply { entries, .. } => {
                 self.stats.poll_replies += 1;
-                self.snapshot.record_full_table(switch, entries.clone(), now);
+                self.snapshot
+                    .record_full_table(switch, entries.clone(), now);
                 true
             }
             _ => false,
@@ -239,11 +240,7 @@ mod tests {
     #[test]
     fn unrelated_messages_do_not_change_the_snapshot() {
         let mut m = ConfigMonitor::new(MonitorConfig::default());
-        assert!(!m.on_switch_message(
-            SwitchId(1),
-            &Message::EchoReply { token: 1 },
-            SimTime::ZERO
-        ));
+        assert!(!m.on_switch_message(SwitchId(1), &Message::EchoReply { token: 1 }, SimTime::ZERO));
         assert_eq!(m.snapshot().rule_count(), 0);
     }
 
@@ -286,7 +283,9 @@ mod tests {
         let mut m = ConfigMonitor::new(MonitorConfig::default());
         let reqs = m.poll_requests(&[SwitchId(1), SwitchId(2), SwitchId(3)]);
         assert_eq!(reqs.len(), 3);
-        assert!(reqs.iter().all(|(_, msg)| matches!(msg, Message::FlowStatsRequest)));
+        assert!(reqs
+            .iter()
+            .all(|(_, msg)| matches!(msg, Message::FlowStatsRequest)));
         assert_eq!(m.stats().polls_issued, 3);
     }
 }

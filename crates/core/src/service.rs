@@ -17,12 +17,11 @@ use rvaas_client::{
 };
 use rvaas_crypto::{Keypair, PublicKey};
 use rvaas_netsim::{ControllerApp, ControllerContext};
-use rvaas_openflow::{
-    Action, ControllerRole, FlowEntry, FlowMatch, FlowModCommand, Message,
-};
+use rvaas_openflow::{Action, ControllerRole, FlowEntry, FlowMatch, FlowModCommand, Message};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, Field, Header, PortId, QueryId, SimTime, SwitchId, SwitchPort};
 
+use crate::backend::{AnalysisBackend, InlineBackend};
 use crate::monitor::{ConfigMonitor, MonitorConfig};
 use crate::verify::{LocationMap, LogicalVerifier, VerifierConfig};
 
@@ -104,7 +103,7 @@ struct PendingQuery {
 pub struct RvaasController {
     config: RvaasConfig,
     monitor: ConfigMonitor,
-    verifier: LogicalVerifier,
+    backend: Box<dyn AnalysisBackend>,
     keypair: Keypair,
     client_keys: BTreeMap<ClientId, PublicKey>,
     pending: Vec<PendingQuery>,
@@ -113,15 +112,30 @@ pub struct RvaasController {
 }
 
 impl RvaasController {
-    /// Creates a controller with the given configuration and signing key.
+    /// Creates a controller with the given configuration and signing key,
+    /// answering queries inline from the live snapshot (the original
+    /// single-threaded behaviour).
     #[must_use]
     pub fn new(config: RvaasConfig, keypair: Keypair) -> Self {
-        let monitor = ConfigMonitor::new(config.monitor);
         let verifier = LogicalVerifier::new(config.topology.clone(), config.verifier.clone());
+        Self::with_backend(config, keypair, Box::new(InlineBackend::new(verifier)))
+    }
+
+    /// Creates a controller that delegates logical analysis to an explicit
+    /// [`AnalysisBackend`] — e.g. the `rvaas-service` worker-pool service
+    /// plane. The backend receives every snapshot change via
+    /// [`AnalysisBackend::publish`] and answers queries on demand.
+    #[must_use]
+    pub fn with_backend(
+        config: RvaasConfig,
+        keypair: Keypair,
+        backend: Box<dyn AnalysisBackend>,
+    ) -> Self {
+        let monitor = ConfigMonitor::new(config.monitor);
         RvaasController {
             config,
             monitor,
-            verifier,
+            backend,
             keypair,
             client_keys: BTreeMap::new(),
             pending: Vec::new(),
@@ -197,7 +211,10 @@ impl RvaasController {
                 self.handle_query(switch, in_port, request, ctx);
             }
             InbandMessage::AuthReply(reply) => self.handle_auth_reply(&reply, ctx),
-            InbandMessage::AuthRequest(_) | InbandMessage::Reply(_) => {}
+            InbandMessage::AuthRequest(_)
+            | InbandMessage::Reply(_)
+            | InbandMessage::SyncRequest(_)
+            | InbandMessage::SyncResponse(_) => {}
         }
     }
 
@@ -213,11 +230,7 @@ impl RvaasController {
         // The reply goes back to the host attached at the ingress port; its
         // address comes from the trusted topology, not from the (spoofable)
         // packet source field.
-        let reply_ip = self
-            .config
-            .topology
-            .host_at(reply_port)
-            .map_or(0, |h| h.ip);
+        let reply_ip = self.config.topology.host_at(reply_port).map_or(0, |h| h.ip);
 
         let authorized = self
             .client_keys
@@ -257,7 +270,7 @@ impl RvaasController {
         }
 
         let result = self
-            .verifier
+            .backend
             .answer(self.monitor.snapshot(), request.client, &request.spec);
 
         // Endpoint-bearing results go through the in-band authentication
@@ -423,7 +436,12 @@ impl ControllerApp for RvaasController {
         self.schedule_poll(ctx);
     }
 
-    fn on_switch_message(&mut self, switch: SwitchId, message: &Message, ctx: &mut ControllerContext) {
+    fn on_switch_message(
+        &mut self,
+        switch: SwitchId,
+        message: &Message,
+        ctx: &mut ControllerContext,
+    ) {
         match message {
             Message::PacketIn {
                 in_port, packet, ..
@@ -432,7 +450,9 @@ impl ControllerApp for RvaasController {
                 self.handle_packet_in(switch, *in_port, &payload, ctx);
             }
             other => {
-                self.monitor.on_switch_message(switch, other, ctx.now());
+                if self.monitor.on_switch_message(switch, other, ctx.now()) {
+                    self.backend.publish(self.monitor.snapshot(), ctx.now());
+                }
             }
         }
     }
@@ -742,9 +762,7 @@ mod tests {
         match &reply.result {
             QueryResult::Endpoints { endpoints } => {
                 let h3_ip = topo.host(HostId(3)).unwrap().ip;
-                assert!(endpoints
-                    .iter()
-                    .any(|e| e.ip == h3_ip && !e.authenticated));
+                assert!(endpoints.iter().any(|e| e.ip == h3_ip && !e.authenticated));
             }
             other => panic!("unexpected result {other:?}"),
         }

@@ -8,10 +8,11 @@
 //! recent past — the defence the paper sketches against "short term
 //! reconfiguration attacks" (Section IV-A).
 
+use std::collections::btree_map::Entry as BTreeEntry;
 use std::collections::BTreeMap;
 
 use rvaas_hsa::NetworkFunction;
-use rvaas_openflow::FlowEntry;
+use rvaas_openflow::{FlowEntry, FlowMatch};
 use rvaas_topology::Topology;
 use rvaas_types::{SimTime, SwitchId};
 
@@ -26,10 +27,63 @@ pub struct RemovedEntry {
     pub removed_at: SimTime,
 }
 
+/// One switch's believed flow table: the entries in arrival order (equal
+/// priorities must keep insertion order, matching the data plane's stable
+/// sort) plus a `(priority, match)` index so the install/modify path is
+/// `O(log n)` instead of a linear scan per monitor event.
+#[derive(Debug, Clone, Default)]
+struct SwitchTable {
+    entries: Vec<FlowEntry>,
+    index: BTreeMap<(u16, FlowMatch), usize>,
+}
+
+impl SwitchTable {
+    /// Adds `entry`, or replaces the entry with the same `(priority, match)`.
+    fn upsert(&mut self, entry: FlowEntry) {
+        match self.index.entry((entry.priority, entry.flow_match.clone())) {
+            BTreeEntry::Occupied(slot) => self.entries[*slot.get()] = entry,
+            BTreeEntry::Vacant(slot) => {
+                slot.insert(self.entries.len());
+                self.entries.push(entry);
+            }
+        }
+    }
+
+    /// Removes the entry with the given `(priority, match)`, preserving the
+    /// arrival order of the survivors. Returns whether an entry was removed.
+    fn remove(&mut self, priority: u16, flow_match: &FlowMatch) -> bool {
+        let Some(pos) = self.index.remove(&(priority, flow_match.clone())) else {
+            return false;
+        };
+        self.entries.remove(pos);
+        for slot in self.index.values_mut() {
+            if *slot > pos {
+                *slot -= 1;
+            }
+        }
+        true
+    }
+
+    fn contains(&self, priority: u16, flow_match: &FlowMatch) -> bool {
+        self.index.contains_key(&(priority, flow_match.clone()))
+    }
+
+    fn from_entries(entries: Vec<FlowEntry>) -> Self {
+        let mut table = SwitchTable {
+            entries: Vec::with_capacity(entries.len()),
+            index: BTreeMap::new(),
+        };
+        for entry in entries {
+            table.upsert(entry);
+        }
+        table
+    }
+}
+
 /// RVaaS's view of the network configuration.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkSnapshot {
-    tables: BTreeMap<SwitchId, Vec<FlowEntry>>,
+    tables: BTreeMap<SwitchId, SwitchTable>,
     removed: Vec<RemovedEntry>,
     /// Time of the last update applied to the snapshot.
     last_update: SimTime,
@@ -56,7 +110,7 @@ impl NetworkSnapshot {
     /// Total number of entries currently believed installed.
     #[must_use]
     pub fn rule_count(&self) -> usize {
-        self.tables.values().map(Vec::len).sum()
+        self.tables.values().map(|t| t.entries.len()).sum()
     }
 
     /// Number of removed entries currently retained in history.
@@ -67,22 +121,14 @@ impl NetworkSnapshot {
 
     /// Records that `entry` is installed on `switch` (add or modify).
     pub fn record_installed(&mut self, switch: SwitchId, entry: FlowEntry, at: SimTime) {
-        let table = self.tables.entry(switch).or_default();
-        if let Some(existing) = table
-            .iter_mut()
-            .find(|e| e.priority == entry.priority && e.flow_match == entry.flow_match)
-        {
-            *existing = entry;
-        } else {
-            table.push(entry);
-        }
+        self.tables.entry(switch).or_default().upsert(entry);
         self.touch(at);
     }
 
     /// Records that `entry` was removed from `switch`.
     pub fn record_removed(&mut self, switch: SwitchId, entry: &FlowEntry, at: SimTime) {
         if let Some(table) = self.tables.get_mut(&switch) {
-            table.retain(|e| !(e.priority == entry.priority && e.flow_match == entry.flow_match));
+            table.remove(entry.priority, &entry.flow_match);
         }
         self.removed.push(RemovedEntry {
             switch,
@@ -96,12 +142,10 @@ impl NetworkSnapshot {
     /// Entries that disappear relative to the previous belief are moved to
     /// history.
     pub fn record_full_table(&mut self, switch: SwitchId, entries: Vec<FlowEntry>, at: SimTime) {
+        let new_table = SwitchTable::from_entries(entries);
         if let Some(old) = self.tables.get(&switch) {
-            for old_entry in old {
-                let still_there = entries
-                    .iter()
-                    .any(|e| e.priority == old_entry.priority && e.flow_match == old_entry.flow_match);
-                if !still_there {
+            for old_entry in &old.entries {
+                if !new_table.contains(old_entry.priority, &old_entry.flow_match) {
                     self.removed.push(RemovedEntry {
                         switch,
                         entry: old_entry.clone(),
@@ -110,7 +154,7 @@ impl NetworkSnapshot {
                 }
             }
         }
-        self.tables.insert(switch, entries);
+        self.tables.insert(switch, new_table);
         self.touch(at);
     }
 
@@ -123,7 +167,15 @@ impl NetworkSnapshot {
     /// The entries RVaaS believes are installed on `switch`.
     #[must_use]
     pub fn table_of(&self, switch: SwitchId) -> &[FlowEntry] {
-        self.tables.get(&switch).map_or(&[], Vec::as_slice)
+        self.tables
+            .get(&switch)
+            .map_or(&[], |t| t.entries.as_slice())
+    }
+
+    /// Iterates every believed table as `(switch, entries)` (used by the
+    /// service plane to digest the whole configuration).
+    pub fn tables(&self) -> impl Iterator<Item = (SwitchId, &[FlowEntry])> {
+        self.tables.iter().map(|(s, t)| (*s, t.entries.as_slice()))
     }
 
     /// Builds the HSA network function for the *current* belief, wiring taken
@@ -173,7 +225,10 @@ impl NetworkSnapshot {
     /// truth). Returns `(missing, stale)`: rules present in the reference but
     /// not the snapshot, and vice versa.
     #[must_use]
-    pub fn divergence_from(&self, reference: &BTreeMap<SwitchId, Vec<FlowEntry>>) -> (usize, usize) {
+    pub fn divergence_from(
+        &self,
+        reference: &BTreeMap<SwitchId, Vec<FlowEntry>>,
+    ) -> (usize, usize) {
         let mut missing = 0;
         let mut stale = 0;
         let same = |a: &FlowEntry, b: &FlowEntry| {
@@ -195,7 +250,7 @@ impl NetworkSnapshot {
         // Tables for switches absent from the reference are entirely stale.
         for (switch, snap_table) in &self.tables {
             if !reference.contains_key(switch) {
-                stale += snap_table.len();
+                stale += snap_table.entries.len();
             }
         }
         (missing, stale)
@@ -225,7 +280,10 @@ mod tests {
         // Same match/priority replaces.
         snap.record_installed(SwitchId(1), entry(5, 2), SimTime::from_millis(2));
         assert_eq!(snap.rule_count(), 1);
-        assert_eq!(snap.table_of(SwitchId(1))[0].actions, vec![Action::Output(PortId(2))]);
+        assert_eq!(
+            snap.table_of(SwitchId(1))[0].actions,
+            vec![Action::Output(PortId(2))]
+        );
         // Removal moves the entry to history.
         let removed = entry(5, 2);
         snap.record_removed(SwitchId(1), &removed, SimTime::from_millis(3));
@@ -267,6 +325,34 @@ mod tests {
         assert_eq!(current.rule_count(), 0);
         assert_eq!(with_history.rule_count(), 1);
         assert_eq!(current.switch_count(), 2);
+    }
+
+    #[test]
+    fn indexed_table_preserves_arrival_order_across_removals() {
+        // The (priority, match) index must never reorder survivors: equal
+        // priorities resolve by arrival order in the data plane's stable sort.
+        let mut snap = NetworkSnapshot::new(SimTime::from_secs(1));
+        for dst in 0..8u32 {
+            snap.record_installed(SwitchId(1), entry(dst, 1), SimTime::from_millis(1));
+        }
+        // Remove from the middle, then re-install and modify around the hole.
+        snap.record_removed(SwitchId(1), &entry(3, 1), SimTime::from_millis(2));
+        snap.record_installed(SwitchId(1), entry(8, 1), SimTime::from_millis(3));
+        snap.record_installed(SwitchId(1), entry(6, 9), SimTime::from_millis(4));
+        let order: Vec<u32> = snap
+            .table_of(SwitchId(1))
+            .iter()
+            .map(|e| match e.actions[0] {
+                Action::Output(p) => p.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        // dst order: 0,1,2,4,5,6,7,8 — with dst 6's action modified in place.
+        assert_eq!(order, vec![1, 1, 1, 1, 1, 9, 1, 1]);
+        assert_eq!(snap.rule_count(), 8);
+        // Removing via the index still works after the shift.
+        snap.record_removed(SwitchId(1), &entry(8, 1), SimTime::from_millis(5));
+        assert_eq!(snap.rule_count(), 7);
     }
 
     #[test]

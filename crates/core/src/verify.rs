@@ -13,10 +13,10 @@
 use std::collections::BTreeMap;
 
 use rvaas_client::{EndpointReport, NeutralityViolation, QueryResult, QuerySpec};
-use rvaas_hsa::{Cube, HeaderSpace, NetworkFunction, ReachabilityEngine};
+use rvaas_hsa::{Cube, HeaderSpace, NetworkFunction, ReachabilityEngine, ReachabilityResult};
 use rvaas_openflow::Action;
 use rvaas_topology::Topology;
-use rvaas_types::{ClientId, Field, Region, SwitchId, SwitchPort};
+use rvaas_types::{ClientId, Field, HostId, Region, SwitchId, SwitchPort};
 
 use crate::snapshot::NetworkSnapshot;
 
@@ -112,18 +112,26 @@ impl LogicalVerifier {
         }
     }
 
-    fn endpoint_for_port(&self, port: SwitchPort) -> Option<EndpointReport> {
-        self.topology.host_at(port).map(|h| EndpointReport {
-            ip: h.ip,
-            client: h.owner,
-            authenticated: false,
-        })
-    }
-
     /// Space of traffic a given host can emit (admission rules match on the
     /// source address, so the source is pinned to the host's own IP).
     fn emission_space(host_ip: u32) -> HeaderSpace {
         HeaderSpace::from(Cube::wildcard().with_field(Field::IpSrc, u64::from(host_ip)))
+    }
+
+    /// Starts a reusable evaluation session over one snapshot: the HSA
+    /// network function is built once and per-host traversals are memoised,
+    /// so a batch of queries sharing source hosts costs one traversal per
+    /// host instead of one per query. This is the entry point the service
+    /// plane's worker pool uses.
+    #[must_use]
+    pub fn evaluator<'a>(&'a self, snapshot: &'a NetworkSnapshot) -> QueryEvaluator<'a> {
+        QueryEvaluator {
+            verifier: self,
+            snapshot,
+            nf: self.function_for(snapshot),
+            emission: BTreeMap::new(),
+            source_reach: BTreeMap::new(),
+        }
     }
 
     /// Destinations reachable from any of `client`'s access points.
@@ -133,21 +141,7 @@ impl LogicalVerifier {
         snapshot: &NetworkSnapshot,
         client: ClientId,
     ) -> Vec<EndpointReport> {
-        let nf = self.function_for(snapshot);
-        let engine = ReachabilityEngine::new(&nf);
-        let mut out: Vec<EndpointReport> = Vec::new();
-        for host in self.topology.hosts_of_client(client) {
-            let result = engine.reachable_from(host.attachment, Self::emission_space(host.ip));
-            for port in result.reached_ports() {
-                if let Some(report) = self.endpoint_for_port(port) {
-                    if report.ip != host.ip && !out.iter().any(|e| e.ip == report.ip) {
-                        out.push(report);
-                    }
-                }
-            }
-        }
-        out.sort_by_key(|e| e.ip);
-        out
+        self.evaluator(snapshot).reachable_destinations(client)
     }
 
     /// Sources whose traffic can currently reach any of `client`'s access
@@ -158,44 +152,7 @@ impl LogicalVerifier {
         snapshot: &NetworkSnapshot,
         client: ClientId,
     ) -> Vec<EndpointReport> {
-        let nf = self.function_for(snapshot);
-        let engine = ReachabilityEngine::new(&nf);
-        let my_ports: Vec<SwitchPort> = self.topology.access_points_of(client);
-        let my_ips: Vec<u32> = self
-            .topology
-            .hosts_of_client(client)
-            .iter()
-            .map(|h| h.ip)
-            .collect();
-        let mut out: Vec<EndpointReport> = Vec::new();
-        for source in self.topology.hosts() {
-            if source.owner == client {
-                continue;
-            }
-            // Traffic the source can emit towards any of the client's hosts.
-            let mut space = HeaderSpace::empty();
-            for ip in &my_ips {
-                space = space.union(&HeaderSpace::from(
-                    Cube::wildcard()
-                        .with_field(Field::IpSrc, u64::from(source.ip))
-                        .with_field(Field::IpDst, u64::from(*ip)),
-                ));
-            }
-            let result = engine.reachable_from(source.attachment, space);
-            if result
-                .reached_ports()
-                .iter()
-                .any(|p| my_ports.contains(p))
-            {
-                out.push(EndpointReport {
-                    ip: source.ip,
-                    client: source.owner,
-                    authenticated: false,
-                });
-            }
-        }
-        out.sort_by_key(|e| e.ip);
-        out
+        self.evaluator(snapshot).reaching_sources(client)
     }
 
     /// The isolation check of paper Section IV-B1: the client's sub-network
@@ -207,12 +164,197 @@ impl LogicalVerifier {
         snapshot: &NetworkSnapshot,
         client: ClientId,
     ) -> (bool, Vec<EndpointReport>) {
+        self.evaluator(snapshot).isolation_check(client)
+    }
+
+    /// The geo-location check of paper Section IV-B2: the set of regions the
+    /// client's traffic can traverse.
+    #[must_use]
+    pub fn geo_regions(&self, snapshot: &NetworkSnapshot, client: ClientId) -> Vec<String> {
+        self.evaluator(snapshot).geo_regions(client)
+    }
+
+    /// Path-length bounds from `client`'s access points to the host owning
+    /// `to_ip`. Returns `(min, max, reachable)`.
+    #[must_use]
+    pub fn path_length(
+        &self,
+        snapshot: &NetworkSnapshot,
+        client: ClientId,
+        to_ip: u32,
+    ) -> (u32, u32, bool) {
+        self.evaluator(snapshot).path_length(client, to_ip)
+    }
+
+    /// Network-neutrality check: reports clients whose delivery rules carry a
+    /// meter while at least one other client's delivery is unmetered.
+    #[must_use]
+    pub fn neutrality_check(
+        &self,
+        snapshot: &NetworkSnapshot,
+        client: ClientId,
+    ) -> (bool, Vec<NeutralityViolation>) {
+        self.evaluator(snapshot).neutrality_check(client)
+    }
+
+    /// Dispatches a query spec to the appropriate check, producing the result
+    /// payload (endpoints are not yet authenticated at this stage).
+    #[must_use]
+    pub fn answer(
+        &self,
+        snapshot: &NetworkSnapshot,
+        client: ClientId,
+        spec: &QuerySpec,
+    ) -> QueryResult {
+        self.evaluator(snapshot).answer(client, spec)
+    }
+}
+
+/// A single-snapshot evaluation session.
+///
+/// Owns the HSA network function built from one snapshot and memoises the
+/// expensive traversals: the emission-space reachability of each source host
+/// (shared by destination, isolation and geo queries) and the per-source
+/// "can this host reach that client" verdicts (shared by isolation and
+/// reaching-source queries). Answering `n` queries that share hosts through
+/// one evaluator therefore performs each traversal once.
+#[derive(Debug)]
+pub struct QueryEvaluator<'a> {
+    verifier: &'a LogicalVerifier,
+    snapshot: &'a NetworkSnapshot,
+    nf: NetworkFunction,
+    /// Memoised `reachable_from(host, emission_space(host))` per source host.
+    emission: BTreeMap<HostId, ReachabilityResult>,
+    /// Memoised "source host can reach some access point of client".
+    source_reach: BTreeMap<(HostId, ClientId), bool>,
+}
+
+impl QueryEvaluator<'_> {
+    fn topology(&self) -> &Topology {
+        &self.verifier.topology
+    }
+
+    fn endpoint_for_port(&self, port: SwitchPort) -> Option<EndpointReport> {
+        self.topology().host_at(port).map(|h| EndpointReport {
+            ip: h.ip,
+            client: h.owner,
+            authenticated: false,
+        })
+    }
+
+    /// The memoised emission-space traversal of one host.
+    fn emission_result(
+        &mut self,
+        host: HostId,
+        attachment: SwitchPort,
+        ip: u32,
+    ) -> &ReachabilityResult {
+        if !self.emission.contains_key(&host) {
+            let engine = ReachabilityEngine::new(&self.nf);
+            let result = engine.reachable_from(attachment, LogicalVerifier::emission_space(ip));
+            self.emission.insert(host, result);
+        }
+        &self.emission[&host]
+    }
+
+    /// Destinations reachable from any of `client`'s access points.
+    #[must_use]
+    pub fn reachable_destinations(&mut self, client: ClientId) -> Vec<EndpointReport> {
+        let hosts: Vec<_> = self
+            .topology()
+            .hosts_of_client(client)
+            .iter()
+            .map(|h| (h.id, h.attachment, h.ip))
+            .collect();
+        let mut out: Vec<EndpointReport> = Vec::new();
+        for (id, attachment, ip) in hosts {
+            let ports = self.emission_result(id, attachment, ip).reached_ports();
+            for port in ports {
+                if let Some(report) = self.endpoint_for_port(port) {
+                    if report.ip != ip && !out.iter().any(|e| e.ip == report.ip) {
+                        out.push(report);
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|e| e.ip);
+        out
+    }
+
+    /// Whether `source` can currently deliver traffic to any of the ports in
+    /// `ports`, which must be `client`'s access points (memoised per
+    /// `(source, client)`).
+    fn source_reaches(
+        &mut self,
+        source: HostId,
+        client: ClientId,
+        ports: &[SwitchPort],
+        target_ips: &[u32],
+    ) -> bool {
+        if let Some(reaches) = self.source_reach.get(&(source, client)) {
+            return *reaches;
+        }
+        let host = self
+            .topology()
+            .host(source)
+            .expect("source host exists in the trusted topology");
+        let (attachment, src_ip) = (host.attachment, host.ip);
+        // Traffic the source can emit towards any of the client's hosts.
+        let mut space = HeaderSpace::empty();
+        for ip in target_ips {
+            space = space.union(&HeaderSpace::from(
+                Cube::wildcard()
+                    .with_field(Field::IpSrc, u64::from(src_ip))
+                    .with_field(Field::IpDst, u64::from(*ip)),
+            ));
+        }
+        let engine = ReachabilityEngine::new(&self.nf);
+        let result = engine.reachable_from(attachment, space);
+        let reaches = result.reached_ports().iter().any(|p| ports.contains(p));
+        self.source_reach.insert((source, client), reaches);
+        reaches
+    }
+
+    /// Sources whose traffic can currently reach any of `client`'s access
+    /// points.
+    #[must_use]
+    pub fn reaching_sources(&mut self, client: ClientId) -> Vec<EndpointReport> {
+        let my_ports: Vec<SwitchPort> = self.topology().access_points_of(client);
+        let my_ips: Vec<u32> = self
+            .topology()
+            .hosts_of_client(client)
+            .iter()
+            .map(|h| h.ip)
+            .collect();
+        let sources: Vec<_> = self
+            .topology()
+            .hosts()
+            .filter(|h| h.owner != client)
+            .map(|h| (h.id, h.ip, h.owner))
+            .collect();
+        let mut out: Vec<EndpointReport> = Vec::new();
+        for (id, ip, owner) in sources {
+            if self.source_reaches(id, client, &my_ports, &my_ips) {
+                out.push(EndpointReport {
+                    ip,
+                    client: owner,
+                    authenticated: false,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.ip);
+        out
+    }
+
+    /// The isolation check of paper Section IV-B1.
+    #[must_use]
+    pub fn isolation_check(&mut self, client: ClientId) -> (bool, Vec<EndpointReport>) {
         let mut foreign: Vec<EndpointReport> = self
-            .reachable_destinations(snapshot, client)
+            .reachable_destinations(client)
             .into_iter()
             .filter(|e| e.client != client)
             .collect();
-        for source in self.reaching_sources(snapshot, client) {
+        for source in self.reaching_sources(client) {
             if source.client != client && !foreign.iter().any(|e| e.ip == source.ip) {
                 foreign.push(source);
             }
@@ -221,17 +363,22 @@ impl LogicalVerifier {
         (foreign.is_empty(), foreign)
     }
 
-    /// The geo-location check of paper Section IV-B2: the set of regions the
-    /// client's traffic can traverse.
+    /// The geo-location check of paper Section IV-B2.
     #[must_use]
-    pub fn geo_regions(&self, snapshot: &NetworkSnapshot, client: ClientId) -> Vec<String> {
-        let nf = self.function_for(snapshot);
-        let engine = ReachabilityEngine::new(&nf);
+    pub fn geo_regions(&mut self, client: ClientId) -> Vec<String> {
+        let hosts: Vec<_> = self
+            .topology()
+            .hosts_of_client(client)
+            .iter()
+            .map(|h| (h.id, h.attachment, h.ip))
+            .collect();
         let mut regions: Vec<String> = Vec::new();
-        for host in self.topology.hosts_of_client(client) {
-            let result = engine.reachable_from(host.attachment, Self::emission_space(host.ip));
-            for switch in result.traversed_switches() {
-                let region = self.config.locations.region_of(switch);
+        for (id, attachment, ip) in hosts {
+            let switches = self
+                .emission_result(id, attachment, ip)
+                .traversed_switches();
+            for switch in switches {
+                let region = self.verifier.config.locations.region_of(switch);
                 let label = region.label().to_string();
                 if !regions.contains(&label) {
                     regions.push(label);
@@ -245,20 +392,14 @@ impl LogicalVerifier {
     /// Path-length bounds from `client`'s access points to the host owning
     /// `to_ip`. Returns `(min, max, reachable)`.
     #[must_use]
-    pub fn path_length(
-        &self,
-        snapshot: &NetworkSnapshot,
-        client: ClientId,
-        to_ip: u32,
-    ) -> (u32, u32, bool) {
-        let nf = self.function_for(snapshot);
-        let engine = ReachabilityEngine::new(&nf);
-        let Some(destination) = self.topology.host_by_ip(to_ip) else {
+    pub fn path_length(&mut self, client: ClientId, to_ip: u32) -> (u32, u32, bool) {
+        let engine = ReachabilityEngine::new(&self.nf);
+        let Some(destination) = self.topology().host_by_ip(to_ip) else {
             return (0, 0, false);
         };
         let mut min = usize::MAX;
         let mut max = 0usize;
-        for host in self.topology.hosts_of_client(client) {
+        for host in self.topology().hosts_of_client(client) {
             let space = HeaderSpace::from(
                 Cube::wildcard()
                     .with_field(Field::IpSrc, u64::from(host.ip))
@@ -279,19 +420,14 @@ impl LogicalVerifier {
         }
     }
 
-    /// Network-neutrality check: reports clients whose delivery rules carry a
-    /// meter while at least one other client's delivery is unmetered.
+    /// Network-neutrality check over the evaluator's snapshot.
     #[must_use]
-    pub fn neutrality_check(
-        &self,
-        snapshot: &NetworkSnapshot,
-        client: ClientId,
-    ) -> (bool, Vec<NeutralityViolation>) {
+    pub fn neutrality_check(&mut self, client: ClientId) -> (bool, Vec<NeutralityViolation>) {
         // For every client, determine whether any delivery rule toward one of
         // its hosts applies a meter.
         let mut metered: BTreeMap<ClientId, bool> = BTreeMap::new();
-        for host in self.topology.hosts() {
-            let table = snapshot.table_of(host.attachment.switch);
+        for host in self.topology().hosts() {
+            let table = self.snapshot.table_of(host.attachment.switch);
             let delivers_metered = table.iter().any(|entry| {
                 let delivers = entry
                     .actions
@@ -321,28 +457,28 @@ impl LogicalVerifier {
     }
 
     /// Dispatches a query spec to the appropriate check, producing the result
-    /// payload (endpooints are not yet authenticated at this stage).
+    /// payload (endpoints are not yet authenticated at this stage).
     #[must_use]
-    pub fn answer(&self, snapshot: &NetworkSnapshot, client: ClientId, spec: &QuerySpec) -> QueryResult {
+    pub fn answer(&mut self, client: ClientId, spec: &QuerySpec) -> QueryResult {
         match spec {
             QuerySpec::ReachableDestinations => QueryResult::Endpoints {
-                endpoints: self.reachable_destinations(snapshot, client),
+                endpoints: self.reachable_destinations(client),
             },
             QuerySpec::ReachingSources => QueryResult::Sources {
-                sources: self.reaching_sources(snapshot, client),
+                sources: self.reaching_sources(client),
             },
             QuerySpec::Isolation => {
-                let (isolated, foreign_endpoints) = self.isolation_check(snapshot, client);
+                let (isolated, foreign_endpoints) = self.isolation_check(client);
                 QueryResult::IsolationStatus {
                     isolated,
                     foreign_endpoints,
                 }
             }
             QuerySpec::GeoLocation => QueryResult::Regions {
-                regions: self.geo_regions(snapshot, client),
+                regions: self.geo_regions(client),
             },
             QuerySpec::PathLength { to_ip } => {
-                let (min_hops, max_hops, reachable) = self.path_length(snapshot, client, *to_ip);
+                let (min_hops, max_hops, reachable) = self.path_length(client, *to_ip);
                 QueryResult::PathLength {
                     min_hops,
                     max_hops,
@@ -350,7 +486,7 @@ impl LogicalVerifier {
                 }
             }
             QuerySpec::Neutrality => {
-                let (fair, violations) = self.neutrality_check(snapshot, client);
+                let (fair, violations) = self.neutrality_check(client);
                 QueryResult::Neutrality { fair, violations }
             }
         }
@@ -423,7 +559,9 @@ mod tests {
         let (isolated, foreign) = v.isolation_check(&snap, ClientId(1));
         assert!(!isolated);
         let h2_ip = topo.host(HostId(2)).unwrap().ip;
-        assert!(foreign.iter().any(|e| e.ip == h2_ip && e.client == ClientId(2)));
+        assert!(foreign
+            .iter()
+            .any(|e| e.ip == h2_ip && e.client == ClientId(2)));
         // The attacker also sees the victim among its reachable destinations.
         let dests = v.reachable_destinations(&snap, ClientId(2));
         let h1_ip = topo.host(HostId(1)).unwrap().ip;
@@ -491,10 +629,13 @@ mod tests {
         // host 4 -> host 5 = 2 hops).
         let (min, max, reachable) = v.path_length(&snap, ClientId(1), h5_ip);
         assert!(reachable);
-        assert!(min >= 1 && min <= 2, "min = {min}");
+        assert!((1..=2).contains(&min), "min = {min}");
         assert_eq!(max, 5);
         // Unknown destination.
-        assert_eq!(v.path_length(&snap, ClientId(1), 0xdead_beef), (0, 0, false));
+        assert_eq!(
+            v.path_length(&snap, ClientId(1), 0xdead_beef),
+            (0, 0, false)
+        );
     }
 
     #[test]
@@ -507,9 +648,12 @@ mod tests {
             .reachable_destinations(&benign_snap, ClientId(1))
             .iter()
             .any(|e| e.ip == h3_ip));
-        let snap = snapshot_with(&topo, &[Attack::Blackhole {
-            victim_host: HostId(3),
-        }]);
+        let snap = snapshot_with(
+            &topo,
+            &[Attack::Blackhole {
+                victim_host: HostId(3),
+            }],
+        );
         assert!(!v
             .reachable_destinations(&snap, ClientId(1))
             .iter()
@@ -525,10 +669,13 @@ mod tests {
         assert!(fair);
         assert!(violations.is_empty());
 
-        let snap = snapshot_with(&topo, &[Attack::Throttle {
-            victim_client: ClientId(1),
-            rate_kbps: 64,
-        }]);
+        let snap = snapshot_with(
+            &topo,
+            &[Attack::Throttle {
+                victim_client: ClientId(1),
+                rate_kbps: 64,
+            }],
+        );
         let (fair, violations) = v.neutrality_check(&snap, ClientId(1));
         assert!(!fair);
         assert!(violations.iter().any(|viol| viol.favoured == ClientId(2)));
@@ -546,7 +693,7 @@ mod tests {
         };
         // Build a snapshot where the attack was installed and then removed
         // (flapping): the current view is clean, history still has it.
-        let mut snap = snapshot_with(&topo, &[attack.clone()]);
+        let mut snap = snapshot_with(&topo, std::slice::from_ref(&attack));
         for (switch, msg) in attack.compile(&topo) {
             if let Message::FlowMod {
                 command: FlowModCommand::Add(entry),

@@ -174,8 +174,12 @@ mod tests {
     #[test]
     fn serials_increment() {
         let (mut ca, kp) = setup();
-        let c1 = ca.issue("a", SubjectRole::Client, kp.public_key()).expect("issue");
-        let c2 = ca.issue("b", SubjectRole::Client, kp.public_key()).expect("issue");
+        let c1 = ca
+            .issue("a", SubjectRole::Client, kp.public_key())
+            .expect("issue");
+        let c2 = ca
+            .issue("b", SubjectRole::Client, kp.public_key())
+            .expect("issue");
         assert_eq!(c1.serial + 1, c2.serial);
     }
 
@@ -183,8 +187,14 @@ mod tests {
     fn merkle_backed_ca_works_until_exhausted() {
         let mut ca = CertificateAuthority::new(SignatureScheme::MerkleWots { height: 1 }, 5);
         let kp = Keypair::generate(SignatureScheme::HmacOracle, 6);
-        assert!(ca.issue("a", SubjectRole::Switch, kp.public_key()).is_some());
-        assert!(ca.issue("b", SubjectRole::Switch, kp.public_key()).is_some());
-        assert!(ca.issue("c", SubjectRole::Switch, kp.public_key()).is_none());
+        assert!(ca
+            .issue("a", SubjectRole::Switch, kp.public_key())
+            .is_some());
+        assert!(ca
+            .issue("b", SubjectRole::Switch, kp.public_key())
+            .is_some());
+        assert!(ca
+            .issue("c", SubjectRole::Switch, kp.public_key())
+            .is_none());
     }
 }

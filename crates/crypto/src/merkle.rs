@@ -123,7 +123,7 @@ pub fn verify(message_digest: &Digest, signature: &MerkleSignature, root: &Diges
     let mut node = leaf_digest;
     let mut index = signature.leaf_index as usize;
     for sibling in &signature.auth_path {
-        node = if index % 2 == 0 {
+        node = if index.is_multiple_of(2) {
             node_hash(&node, sibling)
         } else {
             node_hash(sibling, &node)
@@ -150,7 +150,10 @@ mod tests {
             assert!(verify(&msg, &sig, &root), "signature {i} must verify");
         }
         assert_eq!(kp.remaining(), 0);
-        assert!(kp.sign(&digest(b"extra")).is_none(), "exhausted key refuses");
+        assert!(
+            kp.sign(&digest(b"extra")).is_none(),
+            "exhausted key refuses"
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ impl Digest {
     #[must_use]
     pub fn xor(&self, other: &Digest) -> Digest {
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            out[i] = self.0[i] ^ other.0[i];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.0[i] ^ other.0[i];
         }
         Digest(out)
     }

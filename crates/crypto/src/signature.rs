@@ -19,7 +19,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::hmac::hmac_sha256;
@@ -34,19 +35,24 @@ use crate::sha256::{digest, digest_parts, Digest};
 static ORACLE_REGISTRY: RwLock<Option<HashMap<Digest, Vec<u8>>>> = RwLock::new(None);
 
 fn oracle_register(fingerprint: Digest, secret: Vec<u8>) {
-    let mut guard = ORACLE_REGISTRY.write();
-    guard.get_or_insert_with(HashMap::new).insert(fingerprint, secret);
+    let mut guard = ORACLE_REGISTRY
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard
+        .get_or_insert_with(HashMap::new)
+        .insert(fingerprint, secret);
 }
 
 fn oracle_lookup(fingerprint: &Digest) -> Option<Vec<u8>> {
     ORACLE_REGISTRY
         .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .as_ref()
         .and_then(|m| m.get(fingerprint).cloned())
 }
 
 /// Selects which signature construction a [`Keypair`] uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SignatureScheme {
     /// Stateful hash-based signatures (WOTS + Merkle tree) of the given tree
     /// height; supports `2^height` signatures and is publicly verifiable.
@@ -56,13 +62,8 @@ pub enum SignatureScheme {
     },
     /// Idealised signatures backed by an HMAC oracle registry; unlimited
     /// signatures, used for large simulations.
+    #[default]
     HmacOracle,
-}
-
-impl Default for SignatureScheme {
-    fn default() -> Self {
-        SignatureScheme::HmacOracle
-    }
 }
 
 /// A signature under either scheme.

@@ -239,8 +239,14 @@ mod tests {
 
     #[test]
     fn measurement_is_deterministic_and_image_sensitive() {
-        assert_eq!(Measurement::of_image(RVAAS_IMAGE), Measurement::of_image(RVAAS_IMAGE));
-        assert_ne!(Measurement::of_image(RVAAS_IMAGE), Measurement::of_image(TAMPERED_IMAGE));
+        assert_eq!(
+            Measurement::of_image(RVAAS_IMAGE),
+            Measurement::of_image(RVAAS_IMAGE)
+        );
+        assert_ne!(
+            Measurement::of_image(RVAAS_IMAGE),
+            Measurement::of_image(TAMPERED_IMAGE)
+        );
     }
 
     #[test]
@@ -248,7 +254,10 @@ mod tests {
         let platform = Platform::new(1);
         let enclave = platform.load_enclave(RVAAS_IMAGE);
         let blob = enclave.seal(b"rvaas signing key material");
-        assert_eq!(enclave.unseal(&blob).unwrap(), b"rvaas signing key material");
+        assert_eq!(
+            enclave.unseal(&blob).unwrap(),
+            b"rvaas signing key material"
+        );
         // Long payloads cross the 32-byte keystream block boundary.
         let long = vec![0xabu8; 100];
         assert_eq!(enclave.unseal(&enclave.seal(&long)).unwrap(), long);

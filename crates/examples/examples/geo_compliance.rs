@@ -21,14 +21,33 @@ fn build_topology() -> Topology {
     let mut topo = Topology::new();
     topo.add_switch(SwitchId(1), 4, GeoPoint::new(0.0, 0.0, Region::new("EU")));
     topo.add_switch(SwitchId(2), 4, GeoPoint::new(10.0, 0.0, Region::new("EU")));
-    topo.add_switch(SwitchId(3), 4, GeoPoint::new(5.0, 10.0, Region::new("LATAM")));
-    topo.add_link(sp(1, 2), sp(2, 2), SimTime::from_micros(10)).unwrap();
-    topo.add_link(sp(1, 3), sp(3, 2), SimTime::from_micros(10)).unwrap();
-    topo.add_link(sp(2, 3), sp(3, 3), SimTime::from_micros(10)).unwrap();
-    topo.add_host(HostId(1), 0x0a00_0001, sp(1, 1), ClientId(1), GeoPoint::new(0.0, -5.0, Region::new("EU")))
+    topo.add_switch(
+        SwitchId(3),
+        4,
+        GeoPoint::new(5.0, 10.0, Region::new("LATAM")),
+    );
+    topo.add_link(sp(1, 2), sp(2, 2), SimTime::from_micros(10))
         .unwrap();
-    topo.add_host(HostId(2), 0x0a00_0002, sp(2, 1), ClientId(1), GeoPoint::new(10.0, -5.0, Region::new("EU")))
+    topo.add_link(sp(1, 3), sp(3, 2), SimTime::from_micros(10))
         .unwrap();
+    topo.add_link(sp(2, 3), sp(3, 3), SimTime::from_micros(10))
+        .unwrap();
+    topo.add_host(
+        HostId(1),
+        0x0a00_0001,
+        sp(1, 1),
+        ClientId(1),
+        GeoPoint::new(0.0, -5.0, Region::new("EU")),
+    )
+    .unwrap();
+    topo.add_host(
+        HostId(2),
+        0x0a00_0002,
+        sp(2, 1),
+        ClientId(1),
+        GeoPoint::new(10.0, -5.0, Region::new("EU")),
+    )
+    .unwrap();
     topo
 }
 
@@ -62,7 +81,11 @@ fn run_with(label: &str, locations: LocationMap, attacked: bool) {
                 format!(
                     "regions = [{}] -> {}",
                     regions.join(", "),
-                    if violated { "VIOLATION DETECTED" } else { "compliant" }
+                    if violated {
+                        "VIOLATION DETECTED"
+                    } else {
+                        "compliant"
+                    }
                 )
             }
             other => format!("unexpected result: {other:?}"),
@@ -75,8 +98,19 @@ fn main() {
     let topology = build_topology();
     println!("jurisdiction policy: client c1 traffic must stay inside the EU\n");
     for attacked in [false, true] {
-        println!("--- control plane {} ---", if attacked { "COMPROMISED (LATAM detour)" } else { "honest" });
-        run_with("disclosed locations", LocationMap::disclosed(&topology), attacked);
+        println!(
+            "--- control plane {} ---",
+            if attacked {
+                "COMPROMISED (LATAM detour)"
+            } else {
+                "honest"
+            }
+        );
+        run_with(
+            "disclosed locations",
+            LocationMap::disclosed(&topology),
+            attacked,
+        );
         run_with(
             "crowd-sourced (66%)",
             crowd_sourced_map(&topology, 0.66, 1),

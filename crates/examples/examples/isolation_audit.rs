@@ -26,7 +26,10 @@ fn main() {
 
     println!("== RVaaS isolation audits (victim: client c1, attacker: host h2 of c2) ==");
     let mut scenario = ScenarioBuilder::new(topology.clone())
-        .attack(ScheduledAttack::persistent(attack.clone(), SimTime::from_millis(4)))
+        .attack(ScheduledAttack::persistent(
+            attack.clone(),
+            SimTime::from_millis(4),
+        ))
         // Audit before the attack…
         .query(HostId(1), SimTime::from_millis(2), QuerySpec::Isolation)
         // …and after it.

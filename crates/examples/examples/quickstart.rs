@@ -30,8 +30,16 @@ fn main() {
             SimTime::from_millis(10),
             QuerySpec::ReachableDestinations,
         )
-        .query(querying_host, SimTime::from_millis(30), QuerySpec::Isolation)
-        .query(querying_host, SimTime::from_millis(50), QuerySpec::GeoLocation)
+        .query(
+            querying_host,
+            SimTime::from_millis(30),
+            QuerySpec::Isolation,
+        )
+        .query(
+            querying_host,
+            SimTime::from_millis(50),
+            QuerySpec::GeoLocation,
+        )
         .seed(7)
         .build();
 

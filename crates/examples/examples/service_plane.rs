@@ -1,0 +1,111 @@
+//! End-to-end tour of the `rvaas-service` verification service plane:
+//!
+//! 1. a full simulated scenario whose RVaaS controller delegates analysis
+//!    to the worker-pool backend (`ScenarioBuilder::service_backend`), and
+//! 2. the service used directly — epoch publishing under churn, batched
+//!    queries, the result cache, and RTR-style delta sync.
+//!
+//! ```sh
+//! cargo run --release -p rvaas-examples --example service_plane
+//! ```
+
+use rvaas::{LocationMap, VerifierConfig};
+use rvaas_client::{QuerySpec, SyncPayload, SyncSession};
+use rvaas_service::{ServiceConfig, SyncServer, VerificationService};
+use rvaas_topology::generators;
+use rvaas_types::{ClientId, HostId, SimTime};
+use rvaas_workloads::{benign_snapshot, churn_round, ScenarioBuilder};
+
+fn main() {
+    // --- 1. A simulated scenario riding the service plane -----------------
+    let topo = generators::leaf_spine(2, 4, 2, 1);
+    println!(
+        "scenario: leaf-spine fabric, {} switches / {} hosts, RVaaS backed by a 4-worker pool",
+        topo.switch_count(),
+        topo.host_count()
+    );
+    let mut scenario = ScenarioBuilder::new(topo.clone())
+        .service_backend(4)
+        .query(HostId(1), SimTime::from_millis(5), QuerySpec::Isolation)
+        .query(
+            HostId(2),
+            SimTime::from_millis(6),
+            QuerySpec::ReachableDestinations,
+        )
+        .build();
+    scenario.run_until(SimTime::from_millis(120));
+    for host in [HostId(1), HostId(2)] {
+        for reply in scenario.replies_for(host) {
+            println!("  {host} <- {:?}", reply.result);
+        }
+    }
+    let stats = scenario.rvaas_stats();
+    println!(
+        "  controller: {} queries received, {} answered, {} auth round-trips",
+        stats.queries_received, stats.queries_answered, stats.auth_replies_received
+    );
+
+    // --- 2. The service plane driven directly ----------------------------
+    let service = VerificationService::new(
+        topo.clone(),
+        ServiceConfig::new(VerifierConfig {
+            use_history: false,
+            locations: LocationMap::disclosed(&topo),
+        })
+        .with_workers(4),
+    );
+    let mut snapshot = benign_snapshot(&topo);
+    let serial = service.publish(&snapshot, SimTime::from_millis(1));
+    println!(
+        "\nservice plane: published epoch {serial} ({} rules)",
+        snapshot.rule_count()
+    );
+
+    let workload: Vec<(ClientId, QuerySpec)> = (1..=4)
+        .flat_map(|c| {
+            [QuerySpec::Isolation, QuerySpec::GeoLocation]
+                .into_iter()
+                .map(move |s| (ClientId(c), s))
+        })
+        .collect();
+    // Same batch twice: the second pass is answered from the result cache.
+    let _ = service.query_all(&workload);
+    let responses = service.query_all(&workload);
+    println!(
+        "  {} queries answered at epoch {} (cache hit rate {:.0}%)",
+        responses.len() * 2,
+        responses[0].epoch_serial,
+        100.0 * service.stats().cache_hit_rate
+    );
+
+    // Delta sync: a client mirrors the state, then churn arrives.
+    let server = SyncServer::new(service.store(), 7);
+    let mut session = SyncSession::new();
+    let reset = server.handle(&service, &session.request(ClientId(1)));
+    session.apply(&reset).expect("reset applies");
+    println!(
+        "  sync: client reset to serial {} ({} digests, {} B)",
+        session.serial(),
+        session.digests().len(),
+        reset.encoded_len()
+    );
+    churn_round(&mut snapshot, 1, 4, SimTime::from_millis(2));
+    service.publish(&snapshot, SimTime::from_millis(2));
+    let response = server.handle(&service, &session.request(ClientId(1)));
+    let SyncPayload::Delta { added, removed, .. } = &response.payload else {
+        panic!("expected a delta after churn");
+    };
+    println!(
+        "  sync: delta +{} -{} digests in {} B (vs {} B full resend)",
+        added.len(),
+        removed.len(),
+        response.encoded_len(),
+        reset.encoded_len()
+    );
+    session.apply(&response).expect("delta applies");
+    assert_eq!(session.serial(), service.current_serial());
+    println!(
+        "  sync: client mirror converged at serial {}",
+        session.serial()
+    );
+}

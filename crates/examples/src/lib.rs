@@ -36,7 +36,11 @@ pub fn describe_reply(reply: &QueryReply) -> String {
                     e.ip >> 8 & 0xff,
                     e.ip & 0xff,
                     e.client,
-                    if e.authenticated { "authenticated" } else { "silent" }
+                    if e.authenticated {
+                        "authenticated"
+                    } else {
+                        "silent"
+                    }
                 ))
                 .collect::<Vec<_>>()
                 .join(", ")

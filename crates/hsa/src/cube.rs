@@ -30,7 +30,11 @@ fn last_word_mask() -> u64 {
 }
 
 /// A ternary (0/1/*) wildcard expression over the canonical header layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The `Ord` implementation is the structural order of the `(care, value)`
+/// masks — meaningless semantically, but it lets cubes key ordered maps
+/// (the snapshot's flow-table index relies on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Cube {
     care: [u64; WORDS],
     value: [u64; WORDS],
@@ -240,7 +244,11 @@ impl Cube {
     pub fn free_bits(&self) -> u32 {
         let mut fixed = 0;
         for w in 0..WORDS {
-            let mask = if w == WORDS - 1 { last_word_mask() } else { u64::MAX };
+            let mask = if w == WORDS - 1 {
+                last_word_mask()
+            } else {
+                u64::MAX
+            };
             fixed += (self.care[w] & mask).count_ones();
         }
         HEADER_BITS as u32 - fixed
@@ -254,8 +262,8 @@ impl Cube {
         let mut out = *self;
         for w in 0..WORDS {
             out.care[w] |= mask_cube.care[w];
-            out.value[w] = (out.value[w] & !mask_cube.care[w])
-                | (mask_cube.value[w] & mask_cube.care[w]);
+            out.value[w] =
+                (out.value[w] & !mask_cube.care[w]) | (mask_cube.value[w] & mask_cube.care[w]);
         }
         out
     }

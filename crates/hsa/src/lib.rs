@@ -43,6 +43,8 @@ pub mod space;
 pub mod transfer;
 
 pub use cube::Cube;
-pub use reachability::{LoopReport, ReachabilityEngine, ReachabilityOptions, ReachedEndpoint};
+pub use reachability::{
+    LoopReport, ReachabilityEngine, ReachabilityOptions, ReachabilityResult, ReachedEndpoint,
+};
 pub use space::HeaderSpace;
 pub use transfer::{NetworkFunction, PortSpace, RuleAction, RuleTransfer, SwitchTransfer};

@@ -130,7 +130,11 @@ impl ReachabilityResult {
     /// Length of the shortest and longest path to any endpoint, if reachable.
     #[must_use]
     pub fn path_length_bounds(&self) -> Option<(usize, usize)> {
-        let lengths: Vec<usize> = self.endpoints.iter().map(ReachedEndpoint::hop_count).collect();
+        let lengths: Vec<usize> = self
+            .endpoints
+            .iter()
+            .map(ReachedEndpoint::hop_count)
+            .collect();
         let min = lengths.iter().copied().min()?;
         let max = lengths.iter().copied().max()?;
         Some((min, max))

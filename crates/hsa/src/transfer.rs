@@ -170,7 +170,8 @@ impl SwitchTransfer {
         // Stable sort: equal priorities keep insertion order, mirroring the
         // behaviour of a real switch where overlapping equal-priority rules
         // are matched in an implementation-defined but stable order.
-        self.rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        self.rules
+            .sort_by_key(|rule| std::cmp::Reverse(rule.priority));
     }
 
     /// Applies the transfer function to traffic entering through `in_port`

@@ -114,6 +114,9 @@ fn packet_traces_respect_the_wiring_plan() {
             );
         }
     }
-    assert_eq!(net.deliveries().len(), net.stats().packets_delivered as usize);
+    assert_eq!(
+        net.deliveries().len(),
+        net.stats().packets_delivered as usize
+    );
     let _ = HostId(1);
 }

@@ -71,7 +71,12 @@ fn join_attack_detected_only_after_it_happens() {
     assert_eq!(replies.len(), 2);
     let verdicts: Vec<bool> = replies
         .iter()
-        .map(|r| matches!(r.result, QueryResult::IsolationStatus { isolated: true, .. }))
+        .map(|r| {
+            matches!(
+                r.result,
+                QueryResult::IsolationStatus { isolated: true, .. }
+            )
+        })
         .collect();
     assert_eq!(verdicts, vec![true, false], "clean before, violated after");
     // The foreign endpoint reported after the attack is the attacker host.
@@ -126,7 +131,10 @@ fn flapping_attack_detected_with_history_only() {
         assert_eq!(replies.len(), 1);
         matches!(
             replies[0].result,
-            QueryResult::IsolationStatus { isolated: false, .. }
+            QueryResult::IsolationStatus {
+                isolated: false,
+                ..
+            }
         )
     };
     assert!(
@@ -144,7 +152,11 @@ fn scenarios_are_deterministic_per_seed() {
         let topo = generators::leaf_spine(2, 3, 2, 5);
         let host = topo.hosts_of_client(ClientId(2))[0].id;
         let mut scenario = ScenarioBuilder::new(topo)
-            .query(host, SimTime::from_millis(7), QuerySpec::ReachableDestinations)
+            .query(
+                host,
+                SimTime::from_millis(7),
+                QuerySpec::ReachableDestinations,
+            )
             .seed(99)
             .build();
         scenario.run_until(SimTime::from_millis(120));

@@ -12,6 +12,12 @@
 use rvaas_openflow::{ControllerRole, Message};
 use rvaas_types::{HostId, Packet, SimTime, SwitchId, SwitchPort};
 
+/// Control messages and timers collected from one controller callback.
+pub type ControllerEffects = (Vec<(SwitchId, Message)>, Vec<(SimTime, u64)>);
+
+/// Packets and timers collected from one host callback.
+pub type HostEffects = (Vec<Packet>, Vec<(SimTime, u64)>);
+
 /// Handle identifying a registered controller within one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ControllerHandle(pub usize);
@@ -61,13 +67,17 @@ impl ControllerContext {
 
     /// Consumes the context, returning the collected messages and timers.
     #[must_use]
-    pub fn into_effects(self) -> (Vec<(SwitchId, Message)>, Vec<(SimTime, u64)>) {
+    pub fn into_effects(self) -> ControllerEffects {
         (self.outbox, self.timers)
     }
 }
 
 /// A controller connected to every switch of the network.
-pub trait ControllerApp {
+///
+/// The `Any` supertrait lets experiments read concrete controller state
+/// (e.g. the RVaaS controller's counters) back out of the engine after a
+/// run via [`dyn ControllerApp::downcast_ref`].
+pub trait ControllerApp: std::any::Any {
     /// The role this controller plays (provider management vs. RVaaS).
     fn role(&self) -> ControllerRole;
 
@@ -78,11 +88,24 @@ pub trait ControllerApp {
 
     /// Called when a switch message (Packet-In, Flow-Removed, stats reply,
     /// monitor notification, error…) is delivered to this controller.
-    fn on_switch_message(&mut self, switch: SwitchId, message: &Message, ctx: &mut ControllerContext);
+    fn on_switch_message(
+        &mut self,
+        switch: SwitchId,
+        message: &Message,
+        ctx: &mut ControllerContext,
+    );
 
     /// Called when a timer armed via [`ControllerContext::schedule`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut ControllerContext) {
         let _ = (token, ctx);
+    }
+}
+
+impl dyn ControllerApp {
+    /// Downcasts to the concrete controller type, if it matches.
+    #[must_use]
+    pub fn downcast_ref<T: ControllerApp>(&self) -> Option<&T> {
+        (self as &dyn std::any::Any).downcast_ref::<T>()
     }
 }
 
@@ -147,7 +170,7 @@ impl HostContext {
 
     /// Consumes the context, returning the collected packets and timers.
     #[must_use]
-    pub fn into_effects(self) -> (Vec<Packet>, Vec<(SimTime, u64)>) {
+    pub fn into_effects(self) -> HostEffects {
         (self.outbox, self.timers)
     }
 }
@@ -176,7 +199,8 @@ mod tests {
 
     #[test]
     fn controller_context_collects_effects() {
-        let mut ctx = ControllerContext::new(SimTime::from_micros(5), vec![SwitchId(1), SwitchId(2)]);
+        let mut ctx =
+            ControllerContext::new(SimTime::from_micros(5), vec![SwitchId(1), SwitchId(2)]);
         assert_eq!(ctx.now(), SimTime::from_micros(5));
         assert_eq!(ctx.switches().len(), 2);
         ctx.send(SwitchId(1), Message::FlowStatsRequest);

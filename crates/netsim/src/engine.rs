@@ -147,6 +147,14 @@ impl Network {
         self.switches.get(&id)
     }
 
+    /// Read access to a registered controller app (for experiments and tests
+    /// reading controller state back out after a run; downcast with
+    /// [`ControllerApp::downcast_ref`](crate::apps::ControllerApp)).
+    #[must_use]
+    pub fn controller_app(&self, handle: ControllerHandle) -> Option<&dyn ControllerApp> {
+        self.controllers.get(handle.0).map(AsRef::as_ref)
+    }
+
     /// Exports the *actual* current data-plane configuration as an HSA
     /// network function — the ground truth RVaaS's snapshot is compared
     /// against in experiments.
@@ -172,10 +180,7 @@ impl Network {
     ///
     /// Returns an error if the host does not exist.
     pub fn inject_from_host(&mut self, host: HostId, mut packet: Packet) -> Result<()> {
-        let h = self
-            .topology
-            .host(host)
-            .ok_or(Error::UnknownHost(host.0))?;
+        let h = self.topology.host(host).ok_or(Error::UnknownHost(host.0))?;
         packet.origin = Some(host);
         self.stats.packets_injected += 1;
         self.queue.schedule(
@@ -325,10 +330,7 @@ impl Network {
                 .map_or(SimTime::from_micros(10), |l| l.latency);
             self.queue.schedule(
                 self.now + latency,
-                Event::PacketAtSwitch {
-                    at: peer,
-                    packet,
-                },
+                Event::PacketAtSwitch { at: peer, packet },
             );
         } else if let Some(host) = self.topology.host_at(from) {
             self.queue.schedule(
@@ -402,7 +404,12 @@ impl Network {
         }
     }
 
-    fn handle_control_to_controller(&mut self, controller: usize, switch: SwitchId, message: Message) {
+    fn handle_control_to_controller(
+        &mut self,
+        controller: usize,
+        switch: SwitchId,
+        message: Message,
+    ) {
         let switch_ids: Vec<SwitchId> = self.switches.keys().copied().collect();
         let mut ctx = ControllerContext::new(self.now, switch_ids);
         if let Some(app) = self.controllers.get_mut(controller) {
@@ -427,13 +434,8 @@ impl Network {
             );
         }
         for (at, token) in timers {
-            self.queue.schedule(
-                at,
-                Event::ControllerTimer {
-                    controller,
-                    token,
-                },
-            );
+            self.queue
+                .schedule(at, Event::ControllerTimer { controller, token });
         }
     }
 
@@ -490,7 +492,12 @@ mod tests {
             }
         }
 
-        fn on_switch_message(&mut self, _switch: SwitchId, message: &Message, _ctx: &mut ControllerContext) {
+        fn on_switch_message(
+            &mut self,
+            _switch: SwitchId,
+            message: &Message,
+            _ctx: &mut ControllerContext,
+        ) {
             self.received.push(message.kind().to_string());
         }
     }
@@ -519,25 +526,26 @@ mod tests {
         // Host 1 (ip .1) on s1:p1, host 2 (ip .2) on s2:p1; s1:p3 <-> s2:p2.
         let h1 = topo.host(HostId(1)).unwrap().clone();
         let h2 = topo.host(HostId(2)).unwrap().clone();
-        let mut routes = Vec::new();
-        // Switch 1: to h2 via port 3, to h1 via port 1.
-        routes.push((
-            SwitchId(1),
-            FlowEntry::new(10, FlowMatch::to_ip(h2.ip), vec![Action::Output(PortId(3))]),
-        ));
-        routes.push((
-            SwitchId(1),
-            FlowEntry::new(10, FlowMatch::to_ip(h1.ip), vec![Action::Output(PortId(1))]),
-        ));
-        // Switch 2: to h2 via port 1, to h1 via port 2.
-        routes.push((
-            SwitchId(2),
-            FlowEntry::new(10, FlowMatch::to_ip(h2.ip), vec![Action::Output(PortId(1))]),
-        ));
-        routes.push((
-            SwitchId(2),
-            FlowEntry::new(10, FlowMatch::to_ip(h1.ip), vec![Action::Output(PortId(2))]),
-        ));
+        // Switch 1: to h2 via port 3, to h1 via port 1;
+        // switch 2: to h2 via port 1, to h1 via port 2.
+        let routes = vec![
+            (
+                SwitchId(1),
+                FlowEntry::new(10, FlowMatch::to_ip(h2.ip), vec![Action::Output(PortId(3))]),
+            ),
+            (
+                SwitchId(1),
+                FlowEntry::new(10, FlowMatch::to_ip(h1.ip), vec![Action::Output(PortId(1))]),
+            ),
+            (
+                SwitchId(2),
+                FlowEntry::new(10, FlowMatch::to_ip(h2.ip), vec![Action::Output(PortId(1))]),
+            ),
+            (
+                SwitchId(2),
+                FlowEntry::new(10, FlowMatch::to_ip(h1.ip), vec![Action::Output(PortId(2))]),
+            ),
+        ];
         let mut net = Network::new(topo, NetworkConfig::default());
         let handle = net.add_controller(Box::new(StaticRouter {
             routes,
@@ -549,7 +557,8 @@ mod tests {
     #[test]
     fn end_to_end_forwarding_and_reply() {
         let (mut net, _) = two_switch_setup();
-        net.attach_host(HostId(2), Box::new(Echoer { received: 0 })).unwrap();
+        net.attach_host(HostId(2), Box::new(Echoer { received: 0 }))
+            .unwrap();
         net.start();
         // Let the controller install routes first.
         net.run_until(SimTime::from_millis(1));

@@ -162,11 +162,12 @@ mod tests {
         q.schedule(SimTime::from_micros(30), dummy_event(3));
         q.schedule(SimTime::from_micros(10), dummy_event(1));
         q.schedule(SimTime::from_micros(20), dummy_event(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| match e.event {
-            Event::ControllerTimer { token, .. } => token,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.event {
+                Event::ControllerTimer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -176,11 +177,12 @@ mod tests {
         for i in 0..10 {
             q.schedule(SimTime::from_micros(5), dummy_event(i));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| match e.event {
-            Event::ControllerTimer { token, .. } => token,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.event {
+                Event::ControllerTimer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 

@@ -125,10 +125,7 @@ mod tests {
 
     #[test]
     fn set_field_before_output_rewrites() {
-        let actions = [
-            Action::SetField(Field::Vlan, 42),
-            Action::Output(PortId(3)),
-        ];
+        let actions = [Action::SetField(Field::Vlan, 42), Action::Output(PortId(3))];
         let r = apply_actions(&actions, &hdr(1));
         assert_eq!(r.outputs.len(), 1);
         assert_eq!(r.outputs[0].1.vlan, 42);
@@ -148,7 +145,11 @@ mod tests {
 
     #[test]
     fn drop_terminates_and_clears() {
-        let actions = [Action::Output(PortId(1)), Action::Drop, Action::Output(PortId(2))];
+        let actions = [
+            Action::Output(PortId(1)),
+            Action::Drop,
+            Action::Output(PortId(2)),
+        ];
         let r = apply_actions(&actions, &hdr(1));
         assert!(r.outputs.is_empty());
         assert!(!r.to_controller);

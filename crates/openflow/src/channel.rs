@@ -16,9 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rvaas_crypto::{
-    cert::SubjectRole, hmac_sha256, sha256::Digest, Certificate, PublicKey,
-};
+use rvaas_crypto::{cert::SubjectRole, hmac_sha256, sha256::Digest, Certificate, PublicKey};
 use rvaas_types::SwitchId;
 
 use crate::message::Message;
@@ -247,7 +245,10 @@ mod tests {
         assert!(rx.open(&sealed).is_ok());
         assert!(matches!(
             rx.open(&sealed),
-            Err(ChannelError::BadSequence { expected: 1, got: 0 })
+            Err(ChannelError::BadSequence {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 
@@ -267,8 +268,14 @@ mod tests {
         // Wrong CA.
         let other_ca = CertificateAuthority::new(SignatureScheme::HmacOracle, 5555);
         assert_eq!(
-            SecureChannel::establish(SwitchId(1), &cert, &other_ca.public_key(), ControllerRole::Rvaas, 1)
-                .err(),
+            SecureChannel::establish(
+                SwitchId(1),
+                &cert,
+                &other_ca.public_key(),
+                ControllerRole::Rvaas,
+                1
+            )
+            .err(),
             Some(ChannelError::BadCertificate)
         );
         // Wrong subject.
@@ -283,8 +290,14 @@ mod tests {
             .issue("switch-s1", SubjectRole::Client, kp.public_key())
             .expect("issue");
         assert_eq!(
-            SecureChannel::establish(SwitchId(1), &client_cert, &ca.public_key(), ControllerRole::Rvaas, 1)
-                .err(),
+            SecureChannel::establish(
+                SwitchId(1),
+                &client_cert,
+                &ca.public_key(),
+                ControllerRole::Rvaas,
+                1
+            )
+            .err(),
             Some(ChannelError::WrongRole)
         );
     }
@@ -309,9 +322,16 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert_eq!(ChannelError::BadTag.to_string(), "message authentication failed");
         assert_eq!(
-            ChannelError::BadSequence { expected: 2, got: 5 }.to_string(),
+            ChannelError::BadTag.to_string(),
+            "message authentication failed"
+        );
+        assert_eq!(
+            ChannelError::BadSequence {
+                expected: 2,
+                got: 5
+            }
+            .to_string(),
             "bad sequence number: expected 2, got 5"
         );
     }

@@ -12,7 +12,11 @@ use rvaas_hsa::Cube;
 use rvaas_types::{Field, Header, PortId};
 
 /// A match expression over ingress port and header fields.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+///
+/// `Ord` is structural (port constraint, then cube masks); it exists so
+/// `(priority, FlowMatch)` can key ordered maps such as the snapshot's
+/// flow-table index.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct FlowMatch {
     /// Ingress-port constraint; `None` matches any port.
     pub in_port: Option<PortId>,
@@ -113,7 +117,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn hdr(src: u32, dst: u32, dport: u16) -> Header {
-        Header::builder().ip_src(src).ip_dst(dst).l4_dst(dport).build()
+        Header::builder()
+            .ip_src(src)
+            .ip_dst(dst)
+            .l4_dst(dport)
+            .build()
     }
 
     #[test]
@@ -129,7 +137,7 @@ mod tests {
         assert!(m.matches(PortId(1), &hdr(1, 0x0a000002, 80)));
         assert!(!m.matches(PortId(2), &hdr(1, 0x0a000002, 80)));
         assert!(!m.matches(PortId(1), &hdr(1, 0x0a000003, 80)));
-        assert_eq!(m.to_string().contains("in_port=p1"), true);
+        assert!(m.to_string().contains("in_port=p1"));
     }
 
     #[test]
@@ -142,7 +150,9 @@ mod tests {
     #[test]
     fn subset_and_overlap() {
         let wide = FlowMatch::to_ip(5);
-        let narrow = FlowMatch::to_ip(5).on_port(PortId(3)).field(Field::L4Dst, 80);
+        let narrow = FlowMatch::to_ip(5)
+            .on_port(PortId(3))
+            .field(Field::L4Dst, 80);
         assert!(narrow.is_subset_of(&wide));
         assert!(!wide.is_subset_of(&narrow));
         assert!(narrow.overlaps(&wide));

@@ -191,7 +191,10 @@ mod tests {
         let c = Message::EchoReply { token: 1 };
         assert_ne!(a.canonical_bytes(), b.canonical_bytes());
         assert_ne!(a.canonical_bytes(), c.canonical_bytes());
-        assert_eq!(a.canonical_bytes(), Message::EchoRequest { token: 1 }.canonical_bytes());
+        assert_eq!(
+            a.canonical_bytes(),
+            Message::EchoRequest { token: 1 }.canonical_bytes()
+        );
     }
 
     #[test]

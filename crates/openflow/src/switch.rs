@@ -18,22 +18,13 @@ use crate::message::{FlowModCommand, Message, PacketInReason};
 use crate::table::{FlowEntry, FlowStats, FlowTable, MeterTable};
 
 /// Static configuration of a switch agent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct SwitchConfig {
     /// Maximum number of flow entries (`None` = unbounded).
     pub table_capacity: Option<usize>,
     /// If true, packets that match no entry are punted to the controller as
     /// `PacketIn{reason: NoMatch}`; otherwise they are silently dropped.
     pub punt_table_miss: bool,
-}
-
-impl Default for SwitchConfig {
-    fn default() -> Self {
-        SwitchConfig {
-            table_capacity: None,
-            punt_table_miss: false,
-        }
-    }
 }
 
 /// The result of processing one data packet.
@@ -135,7 +126,10 @@ impl SwitchAgent {
         now: SimTime,
     ) -> ForwardingOutcome {
         let bytes = packet.payload_len() + rvaas_types::HEADER_BYTES;
-        let Some(entry) = self.flow_table.lookup_and_count(in_port, &packet.header, bytes) else {
+        let Some(entry) = self
+            .flow_table
+            .lookup_and_count(in_port, &packet.header, bytes)
+        else {
             // Table miss.
             packet.record_hop(self.id, in_port, None, now);
             if self.config.punt_table_miss {
@@ -228,7 +222,12 @@ impl SwitchAgent {
         reaction
     }
 
-    fn apply_flow_mod(&mut self, command: &FlowModCommand, now: SimTime, reaction: &mut SwitchReaction) {
+    fn apply_flow_mod(
+        &mut self,
+        command: &FlowModCommand,
+        now: SimTime,
+        reaction: &mut SwitchReaction,
+    ) {
         match command {
             FlowModCommand::Add(entry) => {
                 if self.flow_table.add(entry.clone()) {
@@ -251,7 +250,9 @@ impl SwitchAgent {
                 flow_match,
                 actions,
             } => {
-                let changed = self.flow_table.modify_strict(*priority, flow_match, actions);
+                let changed = self
+                    .flow_table
+                    .modify_strict(*priority, flow_match, actions);
                 if changed > 0 && self.monitor_armed {
                     let entry = FlowEntry::new(*priority, flow_match.clone(), actions.to_vec());
                     reaction.notifications.push(Message::FlowMonitorNotify {
@@ -561,6 +562,9 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        assert_eq!(sw.meter_table().get(3).unwrap().effective_rate_kbps(), Some(100));
+        assert_eq!(
+            sw.meter_table().get(3).unwrap().effective_rate_kbps(),
+            Some(100)
+        );
     }
 }

@@ -135,7 +135,8 @@ impl FlowTable {
             }
         }
         self.entries.push(entry);
-        self.entries.sort_by(|a, b| b.priority.cmp(&a.priority));
+        self.entries
+            .sort_by_key(|entry| std::cmp::Reverse(entry.priority));
         true
     }
 
@@ -458,7 +459,11 @@ mod tests {
         assert!(!mt.remove(1));
         assert!(mt.get(1).is_none());
         assert_eq!(
-            MeterEntry { id: 9, bands: vec![] }.effective_rate_kbps(),
+            MeterEntry {
+                id: 9,
+                bands: vec![]
+            }
+            .effective_rate_kbps(),
             None
         );
     }

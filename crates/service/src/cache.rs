@@ -1,0 +1,192 @@
+//! The `(epoch serial, client, query)` result cache.
+//!
+//! Results are only valid for the exact epoch they were computed against, so
+//! the cache keys on the serial and drops stale generations wholesale when
+//! the epoch advances — there is no per-entry invalidation to get wrong.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rvaas_client::{QueryResult, QuerySpec};
+use rvaas_types::ClientId;
+
+/// Cache hit/miss counters (monotonic, lock-free).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+/// One cache generation: the epoch serial it is valid for and its entries.
+type Generation = (u64, HashMap<(ClientId, QuerySpec), QueryResult>);
+
+/// The shared query-result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: Mutex<Generation>,
+    stats: CacheStats,
+    enabled: bool,
+}
+
+impl ResultCache {
+    /// An empty cache; `enabled = false` turns every lookup into a miss
+    /// (used by benchmarks isolating raw verification throughput).
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        ResultCache {
+            entries: Mutex::new((0, HashMap::new())),
+            stats: CacheStats::default(),
+            enabled,
+        }
+    }
+
+    /// Looks up a result computed at `serial` for `(client, spec)`.
+    #[must_use]
+    pub fn get(&self, serial: u64, client: ClientId, spec: &QuerySpec) -> Option<QueryResult> {
+        if !self.enabled {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let guard = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = if guard.0 == serial {
+            guard.1.get(&(client, spec.clone())).cloned()
+        } else {
+            None
+        };
+        drop(guard);
+        if result.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Stores a result computed at `serial`. A result from a newer epoch
+    /// than the cache generation drops the stale generation first; results
+    /// from older epochs (computed by a worker that raced a publish) are
+    /// discarded rather than poisoning the newer generation.
+    pub fn put(&self, serial: u64, client: ClientId, spec: QuerySpec, result: QueryResult) {
+        if !self.enabled {
+            return;
+        }
+        let mut guard = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match serial.cmp(&guard.0) {
+            std::cmp::Ordering::Greater => {
+                guard.0 = serial;
+                guard.1.clear();
+                guard.1.insert((client, spec), result);
+            }
+            std::cmp::Ordering::Equal => {
+                guard.1.insert((client, spec), result);
+            }
+            std::cmp::Ordering::Less => {}
+        }
+    }
+
+    /// Hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of live entries (test/diagnostic aid).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .1
+            .len()
+    }
+
+    /// True when the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(n: u32) -> QueryResult {
+        QueryResult::PathLength {
+            min_hops: n,
+            max_hops: n,
+            reachable: true,
+        }
+    }
+
+    #[test]
+    fn hit_after_put_at_same_serial() {
+        let cache = ResultCache::new(true);
+        assert!(cache.get(1, ClientId(1), &QuerySpec::Isolation).is_none());
+        cache.put(1, ClientId(1), QuerySpec::Isolation, result(3));
+        assert_eq!(
+            cache.get(1, ClientId(1), &QuerySpec::Isolation),
+            Some(result(3))
+        );
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_previous_generation() {
+        let cache = ResultCache::new(true);
+        cache.put(1, ClientId(1), QuerySpec::Isolation, result(3));
+        cache.put(2, ClientId(2), QuerySpec::GeoLocation, result(4));
+        // The old generation is gone wholesale.
+        assert!(cache.get(1, ClientId(1), &QuerySpec::Isolation).is_none());
+        assert!(cache.get(2, ClientId(1), &QuerySpec::Isolation).is_none());
+        assert_eq!(cache.len(), 1);
+        // A straggler result from the evicted epoch is discarded.
+        cache.put(1, ClientId(3), QuerySpec::Neutrality, result(5));
+        assert!(cache.get(1, ClientId(3), &QuerySpec::Neutrality).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = ResultCache::new(false);
+        cache.put(1, ClientId(1), QuerySpec::Isolation, result(3));
+        assert!(cache.get(1, ClientId(1), &QuerySpec::Isolation).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits(), 0);
+    }
+}

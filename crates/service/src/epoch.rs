@@ -1,0 +1,323 @@
+//! Epoch-published snapshots: immutable, serially numbered freezes of the
+//! monitor's [`NetworkSnapshot`], swapped atomically so query workers never
+//! block the publisher (and vice versa).
+//!
+//! The [`EpochStore`] also retains a bounded history of per-epoch deltas
+//! (added/removed flow-entry digests) so the sync protocol can answer
+//! "what changed since serial S" without shipping full state; when the
+//! requested serial has been evicted the store reports `None` and the sync
+//! layer falls back to a full reset, mirroring RTR cache-reset semantics.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
+
+use rvaas::NetworkSnapshot;
+use rvaas_client::FlowDigest;
+use rvaas_openflow::FlowEntry;
+use rvaas_types::{SimTime, SwitchId};
+
+/// Computes the digest identifying one installed flow entry.
+///
+/// Stats and cookies are deliberately excluded: two entries that match and
+/// act identically are the same rule as far as verification is concerned.
+#[must_use]
+pub fn digest_entry(switch: SwitchId, entry: &FlowEntry) -> FlowDigest {
+    // DefaultHasher::new() is deterministic (fixed-key SipHash), which is all
+    // the simulation needs; a deployment would swap in a keyed or
+    // cryptographic digest here.
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    switch.hash(&mut hasher);
+    entry.priority.hash(&mut hasher);
+    entry.flow_match.hash(&mut hasher);
+    entry.actions.hash(&mut hasher);
+    FlowDigest(hasher.finish())
+}
+
+/// Digests of every entry in a snapshot.
+#[must_use]
+pub fn digest_snapshot(snapshot: &NetworkSnapshot) -> BTreeSet<FlowDigest> {
+    snapshot
+        .tables()
+        .flat_map(|(switch, entries)| entries.iter().map(move |e| digest_entry(switch, e)))
+        .collect()
+}
+
+/// One published, immutable epoch of network state.
+#[derive(Debug)]
+pub struct SnapshotEpoch {
+    /// Monotonically increasing serial (the first published epoch is 1;
+    /// serial 0 means "no state", as in the sync protocol).
+    pub serial: u64,
+    /// The frozen snapshot queries are answered against.
+    pub snapshot: NetworkSnapshot,
+    /// Digest of every installed entry, for delta computation.
+    pub digests: BTreeSet<FlowDigest>,
+    /// When the epoch was published (simulation time of the last update).
+    pub published_at: SimTime,
+}
+
+/// The digest-level difference between two consecutive epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochDelta {
+    /// Serial this delta starts from.
+    pub from_serial: u64,
+    /// Serial this delta produces.
+    pub to_serial: u64,
+    /// Digests present in `to` but not `from`.
+    pub added: Vec<FlowDigest>,
+    /// Digests present in `from` but not `to`.
+    pub removed: Vec<FlowDigest>,
+}
+
+/// The atomically swapped epoch store.
+///
+/// Readers grab the current `Arc<SnapshotEpoch>` under a briefly held read
+/// lock and then work lock-free on the frozen epoch; the publisher builds
+/// the next epoch off to the side and swaps the `Arc` in one write-lock
+/// acquisition. In-flight queries keep their old epoch alive through the
+/// `Arc` for as long as they need it.
+#[derive(Debug)]
+pub struct EpochStore {
+    current: RwLock<Arc<SnapshotEpoch>>,
+    deltas: Mutex<VecDeque<EpochDelta>>,
+    max_deltas: usize,
+}
+
+impl EpochStore {
+    /// Creates a store holding an empty epoch 0 and retaining up to
+    /// `max_deltas` per-epoch deltas for sync.
+    #[must_use]
+    pub fn new(max_deltas: usize) -> Self {
+        EpochStore {
+            current: RwLock::new(Arc::new(SnapshotEpoch {
+                serial: 0,
+                snapshot: NetworkSnapshot::default(),
+                digests: BTreeSet::new(),
+                published_at: SimTime::ZERO,
+            })),
+            deltas: Mutex::new(VecDeque::new()),
+            max_deltas,
+        }
+    }
+
+    /// The current epoch. Never blocks the publisher for longer than the
+    /// `Arc` clone.
+    #[must_use]
+    pub fn current(&self) -> Arc<SnapshotEpoch> {
+        self.current
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Freezes `snapshot` as the next epoch and swaps it in, recording the
+    /// delta against the previous epoch. Returns the new serial.
+    ///
+    /// The write lock is held across the read–diff–swap so concurrent
+    /// publishers serialise: each epoch gets a unique serial and a delta
+    /// chained to its true predecessor.
+    pub fn publish(&self, snapshot: NetworkSnapshot, at: SimTime) -> u64 {
+        let digests = digest_snapshot(&snapshot);
+        let mut current = self
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let previous = Arc::clone(&current);
+        let added: Vec<FlowDigest> = digests.difference(&previous.digests).copied().collect();
+        let removed: Vec<FlowDigest> = previous.digests.difference(&digests).copied().collect();
+        let serial = previous.serial + 1;
+        {
+            let mut deltas = self
+                .deltas
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            deltas.push_back(EpochDelta {
+                from_serial: previous.serial,
+                to_serial: serial,
+                added,
+                removed,
+            });
+            while deltas.len() > self.max_deltas {
+                deltas.pop_front();
+            }
+        }
+        *current = Arc::new(SnapshotEpoch {
+            serial,
+            snapshot,
+            digests,
+            published_at: at,
+        });
+        serial
+    }
+
+    /// The combined delta from `since_serial` to the current serial, or
+    /// `None` when any intermediate delta has been evicted (the caller must
+    /// fall back to a full reset). A request for the current serial returns
+    /// an empty delta.
+    #[must_use]
+    pub fn delta_since(&self, since_serial: u64) -> Option<EpochDelta> {
+        let current = self.current();
+        if since_serial > current.serial {
+            return None;
+        }
+        if since_serial == current.serial {
+            return Some(EpochDelta {
+                from_serial: since_serial,
+                to_serial: since_serial,
+                added: Vec::new(),
+                removed: Vec::new(),
+            });
+        }
+        let deltas = self
+            .deltas
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // The retained window must cover every epoch in (since, current].
+        let mut added: BTreeSet<FlowDigest> = BTreeSet::new();
+        let mut removed: BTreeSet<FlowDigest> = BTreeSet::new();
+        let mut next_expected = since_serial;
+        for delta in deltas.iter().filter(|d| d.from_serial >= since_serial) {
+            if delta.from_serial != next_expected {
+                return None;
+            }
+            next_expected = delta.to_serial;
+            for d in &delta.added {
+                // An add that cancels an earlier remove is a no-op overall.
+                if !removed.remove(d) {
+                    added.insert(*d);
+                }
+            }
+            for d in &delta.removed {
+                if !added.remove(d) {
+                    removed.insert(*d);
+                }
+            }
+        }
+        if next_expected != current.serial {
+            return None;
+        }
+        Some(EpochDelta {
+            from_serial: since_serial,
+            to_serial: current.serial,
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas_openflow::{Action, FlowMatch};
+    use rvaas_types::PortId;
+
+    fn entry(dst: u32) -> FlowEntry {
+        FlowEntry::new(10, FlowMatch::to_ip(dst), vec![Action::Output(PortId(1))])
+    }
+
+    fn snapshot_with(dsts: &[u32]) -> NetworkSnapshot {
+        let mut snap = NetworkSnapshot::new(SimTime::from_secs(1));
+        for dst in dsts {
+            snap.record_installed(SwitchId(1), entry(*dst), SimTime::from_millis(1));
+        }
+        snap
+    }
+
+    #[test]
+    fn digests_ignore_stats_and_cookie_but_not_actions() {
+        let a = entry(5);
+        let mut b = entry(5);
+        b.stats.packets = 99;
+        b.cookie = rvaas_types::FlowCookie(7);
+        assert_eq!(digest_entry(SwitchId(1), &a), digest_entry(SwitchId(1), &b));
+        let c = FlowEntry::new(10, FlowMatch::to_ip(5), vec![Action::Drop]);
+        assert_ne!(digest_entry(SwitchId(1), &a), digest_entry(SwitchId(1), &c));
+        assert_ne!(digest_entry(SwitchId(2), &a), digest_entry(SwitchId(1), &a));
+    }
+
+    #[test]
+    fn publish_advances_serial_and_records_delta() {
+        let store = EpochStore::new(8);
+        assert_eq!(store.current().serial, 0);
+        let s1 = store.publish(snapshot_with(&[1, 2]), SimTime::from_millis(1));
+        assert_eq!(s1, 1);
+        let s2 = store.publish(snapshot_with(&[2, 3]), SimTime::from_millis(2));
+        assert_eq!(s2, 2);
+        assert_eq!(store.current().serial, 2);
+
+        let delta = store.delta_since(1).expect("retained");
+        assert_eq!(delta.to_serial, 2);
+        assert_eq!(delta.added.len(), 1, "rule for dst 3 added");
+        assert_eq!(delta.removed.len(), 1, "rule for dst 1 removed");
+
+        let empty = store.delta_since(2).expect("current serial");
+        assert!(empty.added.is_empty() && empty.removed.is_empty());
+    }
+
+    #[test]
+    fn cancelling_changes_collapse_across_epochs() {
+        let store = EpochStore::new(8);
+        store.publish(snapshot_with(&[1]), SimTime::from_millis(1));
+        store.publish(snapshot_with(&[1, 2]), SimTime::from_millis(2));
+        store.publish(snapshot_with(&[1]), SimTime::from_millis(3));
+        // dst 2 was added then removed: net delta from serial 1 is empty.
+        let delta = store.delta_since(1).expect("retained");
+        assert!(delta.added.is_empty());
+        assert!(delta.removed.is_empty());
+    }
+
+    #[test]
+    fn evicted_history_forces_reset() {
+        let store = EpochStore::new(2);
+        for i in 0..5u32 {
+            store.publish(snapshot_with(&[i]), SimTime::from_millis(u64::from(i)));
+        }
+        // Only the last two deltas are retained: serial 1 is unanswerable.
+        assert!(store.delta_since(1).is_none());
+        assert!(store.delta_since(3).is_some());
+        // A serial from the future is also unanswerable.
+        assert!(store.delta_since(99).is_none());
+    }
+
+    #[test]
+    fn epoch_swap_under_concurrent_readers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let store = Arc::new(EpochStore::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last_serial = 0u64;
+                let mut observed = 0u64;
+                loop {
+                    let epoch = store.current();
+                    // Serials must be monotone from any single reader's
+                    // point of view, and the frozen snapshot must always be
+                    // internally consistent with its digest set.
+                    assert!(epoch.serial >= last_serial, "serial went backwards");
+                    assert_eq!(digest_snapshot(&epoch.snapshot), epoch.digests);
+                    last_serial = epoch.serial;
+                    observed += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                observed
+            }));
+        }
+        for i in 0..200u32 {
+            let dsts: Vec<u32> = (0..=i % 7).collect();
+            store.publish(snapshot_with(&dsts), SimTime::from_millis(u64::from(i)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            let observed = reader.join().expect("reader panicked");
+            assert!(observed > 0, "reader never observed an epoch");
+        }
+        assert_eq!(store.current().serial, 200);
+    }
+}

@@ -1,0 +1,53 @@
+//! # rvaas-service — the standalone verification service plane
+//!
+//! The seed answered every client query inline from the simulated
+//! controller's event handler, one at a time, rebuilding the HSA model from
+//! scratch per query. This crate turns verification into a *service*:
+//!
+//! * [`epoch`] — the monitor's [`rvaas::NetworkSnapshot`] is frozen into
+//!   immutable, serially numbered [`epoch::SnapshotEpoch`]s and swapped
+//!   atomically; readers never block the publisher, and monitor churn keeps
+//!   publishing while queries run against the previous epoch.
+//! * [`pool`] — a [`pool::VerificationService`] shards queries across OS
+//!   worker threads by client, batches co-queued queries through one
+//!   [`rvaas::QueryEvaluator`] (one HSA build + shared per-host traversals
+//!   per batch), and caches results per `(epoch serial, client, query)`.
+//! * [`sync`] — an RTR-style session/serial delta protocol: clients mirror
+//!   the published digest set and receive only what changed since their
+//!   serial (plus re-verified standing queries), falling back to a full
+//!   reset when the delta history has been evicted.
+//! * [`backend`] — [`backend::ServiceBackend`] plugs the service plane into
+//!   the existing `RvaasController` via [`rvaas::AnalysisBackend`].
+//!
+//! ```
+//! use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
+//! use rvaas_client::QuerySpec;
+//! use rvaas_service::{ServiceConfig, VerificationService};
+//! use rvaas_topology::generators;
+//! use rvaas_types::{ClientId, SimTime};
+//!
+//! let topology = generators::line(4, 2);
+//! let config = ServiceConfig::new(VerifierConfig {
+//!     use_history: false,
+//!     locations: LocationMap::disclosed(&topology),
+//! });
+//! let service = VerificationService::new(topology, config);
+//! service.publish(&NetworkSnapshot::default(), SimTime::ZERO);
+//! let response = service.query(ClientId(1), QuerySpec::Isolation);
+//! assert_eq!(response.epoch_serial, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cache;
+pub mod epoch;
+pub mod pool;
+pub mod sync;
+
+pub use backend::ServiceBackend;
+pub use cache::{CacheStats, ResultCache};
+pub use epoch::{digest_entry, digest_snapshot, EpochDelta, EpochStore, SnapshotEpoch};
+pub use pool::{QueryResponse, QueryTicket, ServiceConfig, ServiceStats, VerificationService};
+pub use sync::SyncServer;

@@ -1,0 +1,464 @@
+//! The query scheduler and sharded worker pool.
+//!
+//! Incoming queries are sharded across `N` OS-thread workers by client, so
+//! one client's standing queries always land on the same worker (maximising
+//! evaluator and cache locality). Each worker drains its queue into a batch
+//! and answers the whole batch through **one** [`rvaas::QueryEvaluator`]:
+//! the HSA network function is built once per batch and per-host traversals
+//! are shared between every query in it, so a batch of queries from the same
+//! source host costs one traversal instead of one per query.
+//!
+//! Workers always answer against the epoch that was current when their
+//! batch started; the monitor can keep publishing new epochs concurrently
+//! without blocking them (see [`crate::epoch::EpochStore`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rvaas::{LogicalVerifier, NetworkSnapshot, VerifierConfig};
+use rvaas_client::{QueryResult, QuerySpec};
+use rvaas_topology::Topology;
+use rvaas_types::{ClientId, SimTime};
+
+use crate::cache::ResultCache;
+use crate::epoch::EpochStore;
+
+/// Upper bound on how many queued queries one worker folds into a batch.
+const MAX_BATCH: usize = 64;
+
+/// Configuration of the verification service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker threads (minimum 1).
+    pub workers: usize,
+    /// Whether the `(serial, client, spec)` result cache is consulted.
+    pub cache_enabled: bool,
+    /// How many per-epoch deltas the store retains for delta sync.
+    pub max_delta_history: usize,
+    /// Verifier configuration shared by every worker.
+    pub verifier: VerifierConfig,
+}
+
+impl ServiceConfig {
+    /// Sensible defaults: 4 workers, caching on, 64 retained deltas.
+    #[must_use]
+    pub fn new(verifier: VerifierConfig) -> Self {
+        ServiceConfig {
+            workers: 4,
+            cache_enabled: true,
+            max_delta_history: 64,
+            verifier,
+        }
+    }
+
+    /// Overrides the worker count (builder style).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables or disables the result cache (builder style).
+    #[must_use]
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+}
+
+/// A completed query, as delivered back to the submitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The querying client.
+    pub client: ClientId,
+    /// The query.
+    pub spec: QuerySpec,
+    /// The verification result.
+    pub result: QueryResult,
+    /// The epoch serial the result was computed against.
+    pub epoch_serial: u64,
+    /// Wall-clock time from submission to completion.
+    pub latency: Duration,
+}
+
+struct QueryJob {
+    client: ClientId,
+    spec: QuerySpec,
+    submitted: Instant,
+    reply: mpsc::Sender<QueryResponse>,
+}
+
+enum WorkerMsg {
+    Query(QueryJob),
+    Shutdown,
+}
+
+/// A pending query's completion handle.
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<QueryResponse>,
+}
+
+impl QueryTicket {
+    /// Blocks until the worker delivers the response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was shut down before answering.
+    #[must_use]
+    pub fn wait(self) -> QueryResponse {
+        self.rx
+            .recv()
+            .expect("verification service dropped the query")
+    }
+}
+
+/// Monotonic activity counters, readable while the service runs.
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    epochs_published: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Queries answered (cached or computed).
+    pub queries: u64,
+    /// Batches executed by workers.
+    pub batches: u64,
+    /// Queries answered as part of a batch of two or more.
+    pub batched_queries: u64,
+    /// Epochs published through the service.
+    pub epochs_published: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Number of worker threads.
+    pub workers: usize,
+}
+
+/// The standalone verification service: epoch store + worker pool + cache.
+pub struct VerificationService {
+    store: Arc<EpochStore>,
+    cache: Arc<ResultCache>,
+    counters: Arc<Counters>,
+    senders: Vec<mpsc::Sender<WorkerMsg>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for VerificationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerificationService")
+            .field("workers", &self.workers.len())
+            .field("current_serial", &self.store.current().serial)
+            .finish()
+    }
+}
+
+impl VerificationService {
+    /// Starts the service over the trusted `topology`.
+    #[must_use]
+    pub fn new(topology: Topology, config: ServiceConfig) -> Self {
+        let store = Arc::new(EpochStore::new(config.max_delta_history.max(1)));
+        let cache = Arc::new(ResultCache::new(config.cache_enabled));
+        let counters = Arc::new(Counters::default());
+        let worker_count = config.workers.max(1);
+        let mut senders = Vec::with_capacity(worker_count);
+        let mut workers = Vec::with_capacity(worker_count);
+        for index in 0..worker_count {
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            let verifier = LogicalVerifier::new(topology.clone(), config.verifier.clone());
+            let store = Arc::clone(&store);
+            let cache = Arc::clone(&cache);
+            let counters = Arc::clone(&counters);
+            let handle = std::thread::Builder::new()
+                .name(format!("rvaas-verify-{index}"))
+                .spawn(move || worker_loop(&rx, &verifier, &store, &cache, &counters))
+                .expect("spawning verification worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        VerificationService {
+            store,
+            cache,
+            counters,
+            senders,
+            workers,
+        }
+    }
+
+    /// The epoch store (shared with the sync server).
+    #[must_use]
+    pub fn store(&self) -> Arc<EpochStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The current epoch serial.
+    #[must_use]
+    pub fn current_serial(&self) -> u64 {
+        self.store.current().serial
+    }
+
+    /// Publishes `snapshot` as the next epoch; in-flight queries keep
+    /// answering against the epoch they started with.
+    pub fn publish(&self, snapshot: &NetworkSnapshot, at: SimTime) -> u64 {
+        self.counters
+            .epochs_published
+            .fetch_add(1, Ordering::Relaxed);
+        self.store.publish(snapshot.clone(), at)
+    }
+
+    /// Enqueues a query on its client's worker shard.
+    #[must_use]
+    pub fn submit(&self, client: ClientId, spec: QuerySpec) -> QueryTicket {
+        let (tx, rx) = mpsc::channel();
+        let shard = client.0 as usize % self.senders.len();
+        self.senders[shard]
+            .send(WorkerMsg::Query(QueryJob {
+                client,
+                spec,
+                submitted: Instant::now(),
+                reply: tx,
+            }))
+            .expect("verification worker hung up");
+        QueryTicket { rx }
+    }
+
+    /// Submits and waits: the synchronous convenience the controller
+    /// adapter uses.
+    #[must_use]
+    pub fn query(&self, client: ClientId, spec: QuerySpec) -> QueryResponse {
+        self.submit(client, spec).wait()
+    }
+
+    /// Submits a whole workload and waits for every response (in submission
+    /// order).
+    #[must_use]
+    pub fn query_all(&self, queries: &[(ClientId, QuerySpec)]) -> Vec<QueryResponse> {
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .map(|(client, spec)| self.submit(*client, spec.clone()))
+            .collect();
+        tickets.into_iter().map(QueryTicket::wait).collect()
+    }
+
+    /// A point-in-time copy of the activity counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_queries: self.counters.batched_queries.load(Ordering::Relaxed),
+            epochs_published: self.counters.epochs_published.load(Ordering::Relaxed),
+            cache_hits: self.cache.stats().hits(),
+            cache_misses: self.cache.stats().misses(),
+            cache_hit_rate: self.cache.stats().hit_rate(),
+            workers: self.workers.len(),
+        }
+    }
+}
+
+impl Drop for VerificationService {
+    fn drop(&mut self) {
+        for sender in &self.senders {
+            // A worker that already exited has hung up; that is fine.
+            let _ = sender.send(WorkerMsg::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &mpsc::Receiver<WorkerMsg>,
+    verifier: &LogicalVerifier,
+    store: &EpochStore,
+    cache: &ResultCache,
+    counters: &Counters,
+) {
+    loop {
+        // Block for the first job, then opportunistically drain the queue so
+        // everything waiting shares one evaluator.
+        let first = match rx.recv() {
+            Ok(WorkerMsg::Query(job)) => job,
+            Ok(WorkerMsg::Shutdown) | Err(_) => return,
+        };
+        let mut batch = vec![first];
+        let mut shutdown = false;
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(WorkerMsg::Query(job)) => batch.push(job),
+                Ok(WorkerMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+
+        let epoch = store.current();
+        let mut evaluator = verifier.evaluator(&epoch.snapshot);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        if batch.len() > 1 {
+            counters
+                .batched_queries
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        for job in batch {
+            let result = match cache.get(epoch.serial, job.client, &job.spec) {
+                Some(result) => result,
+                None => {
+                    let result = evaluator.answer(job.client, &job.spec);
+                    cache.put(epoch.serial, job.client, job.spec.clone(), result.clone());
+                    result
+                }
+            };
+            counters.queries.fetch_add(1, Ordering::Relaxed);
+            // The submitter may have given up waiting; that is not an error.
+            let _ = job.reply.send(QueryResponse {
+                client: job.client,
+                spec: job.spec,
+                result,
+                epoch_serial: epoch.serial,
+                latency: job.submitted.elapsed(),
+            });
+        }
+        if shutdown {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvaas::LocationMap;
+    use rvaas_controlplane::benign_rules;
+    use rvaas_topology::generators;
+
+    fn service_over(
+        topology: &Topology,
+        workers: usize,
+        cache: bool,
+    ) -> (VerificationService, NetworkSnapshot) {
+        let mut snapshot = NetworkSnapshot::new(SimTime::from_secs(1));
+        for (switch, entry) in benign_rules(topology) {
+            snapshot.record_installed(switch, entry, SimTime::from_millis(1));
+        }
+        let config = ServiceConfig::new(VerifierConfig {
+            use_history: false,
+            locations: LocationMap::disclosed(topology),
+        })
+        .with_workers(workers)
+        .with_cache(cache);
+        let service = VerificationService::new(topology.clone(), config);
+        service.publish(&snapshot, SimTime::from_millis(1));
+        (service, snapshot)
+    }
+
+    fn all_specs(topology: &Topology) -> Vec<QuerySpec> {
+        let some_ip = topology.hosts().next().expect("hosts").ip;
+        vec![
+            QuerySpec::ReachableDestinations,
+            QuerySpec::ReachingSources,
+            QuerySpec::Isolation,
+            QuerySpec::GeoLocation,
+            QuerySpec::PathLength { to_ip: some_ip },
+            QuerySpec::Neutrality,
+        ]
+    }
+
+    #[test]
+    fn batched_answers_equal_sequential_verifier_answers() {
+        let topology = generators::leaf_spine(2, 4, 2, 1);
+        let (service, snapshot) = service_over(&topology, 4, false);
+        let verifier = LogicalVerifier::new(
+            topology.clone(),
+            VerifierConfig {
+                use_history: false,
+                locations: LocationMap::disclosed(&topology),
+            },
+        );
+        let clients: Vec<ClientId> = (1..=4).map(ClientId).collect();
+        let workload: Vec<(ClientId, QuerySpec)> = clients
+            .iter()
+            .flat_map(|c| all_specs(&topology).into_iter().map(move |s| (*c, s)))
+            .collect();
+        let responses = service.query_all(&workload);
+        assert_eq!(responses.len(), workload.len());
+        for response in &responses {
+            let expected = verifier.answer(&snapshot, response.client, &response.spec);
+            assert_eq!(
+                response.result, expected,
+                "service answer diverged for {:?}/{:?}",
+                response.client, response.spec
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries, workload.len() as u64);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn cache_hits_repeat_queries_and_invalidates_on_epoch_advance() {
+        let topology = generators::line(4, 2);
+        let (service, mut snapshot) = service_over(&topology, 1, true);
+        let first = service.query(ClientId(1), QuerySpec::Isolation);
+        let again = service.query(ClientId(1), QuerySpec::Isolation);
+        assert_eq!(first.result, again.result);
+        assert_eq!(first.epoch_serial, again.epoch_serial);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1, "second identical query must hit");
+
+        // Publishing a new epoch invalidates the cached generation even
+        // though the result payload may be identical.
+        snapshot.record_installed(
+            rvaas_types::SwitchId(1),
+            rvaas_openflow::FlowEntry::new(
+                1,
+                rvaas_openflow::FlowMatch::to_ip(0xdead),
+                vec![rvaas_openflow::Action::Drop],
+            ),
+            SimTime::from_millis(5),
+        );
+        let serial = service.publish(&snapshot, SimTime::from_millis(5));
+        let after = service.query(ClientId(1), QuerySpec::Isolation);
+        assert_eq!(after.epoch_serial, serial);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1, "post-publish query must recompute");
+        assert_eq!(stats.epochs_published, 2);
+    }
+
+    #[test]
+    fn queries_answer_against_publish_time_epochs_under_churn() {
+        let topology = generators::line(4, 2);
+        let (service, mut snapshot) = service_over(&topology, 2, true);
+        // Interleave publishes and queries; every response must carry a
+        // serial that was current at some point and a well-formed result.
+        for round in 0..20u64 {
+            snapshot.record_installed(
+                rvaas_types::SwitchId(1),
+                rvaas_openflow::FlowEntry::new(
+                    2,
+                    rvaas_openflow::FlowMatch::to_ip(0x1000 + round as u32),
+                    vec![rvaas_openflow::Action::Drop],
+                ),
+                SimTime::from_millis(round),
+            );
+            let serial = service.publish(&snapshot, SimTime::from_millis(round));
+            let response = service.query(ClientId(1 + (round % 2) as u32), QuerySpec::Isolation);
+            assert!(response.epoch_serial <= serial);
+            assert!(response.epoch_serial >= 1);
+        }
+        assert_eq!(service.stats().queries, 20);
+    }
+}

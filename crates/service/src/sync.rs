@@ -1,0 +1,295 @@
+//! The server side of the RTR-style delta-sync protocol.
+//!
+//! Each [`SyncServer`] speaks for one epoch store under a random-ish session
+//! id (clients detect a restarted server by the id changing and fall back to
+//! a reset). Clients register *standing queries*; when a delta invalidates
+//! the published state, the server re-verifies those queries at the new
+//! epoch — through the worker pool and its cache — and ships the refreshed
+//! results inside the delta, so clients do not need a follow-up query round.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use rvaas_client::QuerySpec;
+use rvaas_client::{ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse};
+use rvaas_types::ClientId;
+
+use crate::epoch::EpochStore;
+use crate::pool::VerificationService;
+
+/// Per-client server-side session state.
+#[derive(Debug, Default)]
+struct ClientSession {
+    /// Standing queries to re-verify when the state changes.
+    subscriptions: BTreeSet<QuerySpec>,
+}
+
+/// Answers [`SyncRequest`]s from the epoch store.
+#[derive(Debug)]
+pub struct SyncServer {
+    store: Arc<EpochStore>,
+    session_id: u16,
+    sessions: Mutex<BTreeMap<ClientId, ClientSession>>,
+}
+
+impl SyncServer {
+    /// Creates a server over `store` with the given session id (must be
+    /// non-zero: clients use session 0 to mean "no session yet").
+    #[must_use]
+    pub fn new(store: Arc<EpochStore>, session_id: u16) -> Self {
+        SyncServer {
+            store,
+            session_id: session_id.max(1),
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The server's session id.
+    #[must_use]
+    pub fn session_id(&self) -> u16 {
+        self.session_id
+    }
+
+    /// Registers a standing query for `client`, to be re-verified inside
+    /// every delta that invalidates published state.
+    pub fn subscribe(&self, client: ClientId, spec: QuerySpec) {
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(client)
+            .or_default()
+            .subscriptions
+            .insert(spec);
+    }
+
+    /// Answers one sync request. `service` is consulted to re-verify the
+    /// client's standing queries when a delta is served.
+    #[must_use]
+    pub fn handle(&self, service: &VerificationService, request: &SyncRequest) -> SyncResponse {
+        let current = self.store.current();
+        // A client with no state, from another session, or whose serial the
+        // history no longer covers gets the full digest set.
+        let needs_reset = request.session != self.session_id || request.have_serial == 0;
+        let delta = if needs_reset {
+            None
+        } else {
+            self.store.delta_since(request.have_serial)
+        };
+        match delta {
+            None => SyncResponse {
+                session: self.session_id,
+                serial: current.serial,
+                payload: SyncPayload::Reset {
+                    full: current.digests.iter().copied().collect(),
+                },
+            },
+            Some(delta) if delta.added.is_empty() && delta.removed.is_empty() => SyncResponse {
+                session: self.session_id,
+                serial: current.serial,
+                payload: SyncPayload::Unchanged,
+            },
+            Some(delta) => {
+                let reverified = self.reverify(service, request.client);
+                SyncResponse {
+                    session: self.session_id,
+                    serial: delta.to_serial,
+                    payload: SyncPayload::Delta {
+                        added: delta.added,
+                        removed: delta.removed,
+                        reverified,
+                    },
+                }
+            }
+        }
+    }
+
+    fn reverify(&self, service: &VerificationService, client: ClientId) -> Vec<ReverifiedQuery> {
+        let specs: Vec<QuerySpec> = {
+            let sessions = self
+                .sessions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            sessions
+                .get(&client)
+                .map(|s| s.subscriptions.iter().cloned().collect())
+                .unwrap_or_default()
+        };
+        // Submit everything before waiting so the worker answers the whole
+        // subscription set as one batch (shared evaluator), instead of one
+        // blocking round-trip per standing query.
+        let workload: Vec<(ClientId, QuerySpec)> =
+            specs.into_iter().map(|spec| (client, spec)).collect();
+        service
+            .query_all(&workload)
+            .into_iter()
+            .map(|response| ReverifiedQuery {
+                spec: response.spec,
+                result: response.result,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ServiceConfig;
+    use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
+    use rvaas_client::{QueryResult, SyncSession};
+    use rvaas_controlplane::benign_rules;
+    use rvaas_openflow::{Action, FlowEntry, FlowMatch};
+    use rvaas_topology::generators;
+    use rvaas_types::{SimTime, SwitchId};
+
+    fn setup(max_deltas: usize) -> (VerificationService, SyncServer, NetworkSnapshot) {
+        let topology = generators::line(4, 2);
+        let mut snapshot = NetworkSnapshot::new(SimTime::from_secs(1));
+        for (switch, entry) in benign_rules(&topology) {
+            snapshot.record_installed(switch, entry, SimTime::from_millis(1));
+        }
+        let mut config = ServiceConfig::new(VerifierConfig {
+            use_history: false,
+            locations: LocationMap::disclosed(&topology),
+        })
+        .with_workers(2);
+        config.max_delta_history = max_deltas;
+        let service = VerificationService::new(topology, config);
+        service.publish(&snapshot, SimTime::from_millis(1));
+        let server = SyncServer::new(service.store(), 42);
+        (service, server, snapshot)
+    }
+
+    fn churn(snapshot: &mut NetworkSnapshot, round: u32) {
+        snapshot.record_installed(
+            SwitchId(1),
+            FlowEntry::new(3, FlowMatch::to_ip(0x2000 + round), vec![Action::Drop]),
+            SimTime::from_millis(u64::from(10 + round)),
+        );
+    }
+
+    #[test]
+    fn fresh_client_resets_then_rides_deltas() {
+        let (service, server, mut snapshot) = setup(16);
+        let mut session = SyncSession::new();
+        let client = ClientId(1);
+
+        let response = server.handle(&service, &session.request(client));
+        assert!(matches!(response.payload, SyncPayload::Reset { .. }));
+        session.apply(&response).unwrap();
+        assert_eq!(session.serial(), service.current_serial());
+        assert_eq!(session.digests(), &service.store().current().digests);
+
+        // No change: unchanged.
+        let response = server.handle(&service, &session.request(client));
+        assert_eq!(response.payload, SyncPayload::Unchanged);
+        session.apply(&response).unwrap();
+
+        // One change: a delta that brings the mirror up to date.
+        churn(&mut snapshot, 1);
+        service.publish(&snapshot, SimTime::from_millis(11));
+        let response = server.handle(&service, &session.request(client));
+        assert!(matches!(response.payload, SyncPayload::Delta { .. }));
+        session.apply(&response).unwrap();
+        assert_eq!(session.serial(), service.current_serial());
+        assert_eq!(session.digests(), &service.store().current().digests);
+    }
+
+    #[test]
+    fn evicted_history_falls_back_to_reset() {
+        let (service, server, mut snapshot) = setup(2);
+        let mut session = SyncSession::new();
+        let client = ClientId(1);
+        session
+            .apply(&server.handle(&service, &session.request(client)))
+            .unwrap();
+        let old_serial = session.serial();
+
+        // Churn far past the retained delta window.
+        for round in 0..6 {
+            churn(&mut snapshot, round);
+            service.publish(&snapshot, SimTime::from_millis(u64::from(20 + round)));
+        }
+        assert!(service.store().delta_since(old_serial).is_none());
+        let response = server.handle(&service, &session.request(client));
+        assert!(
+            matches!(response.payload, SyncPayload::Reset { .. }),
+            "evicted history must force a reset"
+        );
+        session.apply(&response).unwrap();
+        assert_eq!(session.digests(), &service.store().current().digests);
+    }
+
+    #[test]
+    fn session_mismatch_forces_reset() {
+        let (service, server, _snapshot) = setup(16);
+        let mut session = SyncSession::new();
+        session
+            .apply(&server.handle(&service, &session.request(ClientId(1))))
+            .unwrap();
+        // A server restart shows up as a new session id.
+        let restarted = SyncServer::new(service.store(), 43);
+        let response = restarted.handle(&service, &session.request(ClientId(1)));
+        assert!(matches!(response.payload, SyncPayload::Reset { .. }));
+        assert_eq!(response.session, 43);
+    }
+
+    #[test]
+    fn deltas_reverify_subscribed_queries() {
+        let (service, server, mut snapshot) = setup(16);
+        let client = ClientId(1);
+        server.subscribe(client, QuerySpec::Isolation);
+        let mut session = SyncSession::new();
+        session
+            .apply(&server.handle(&service, &session.request(client)))
+            .unwrap();
+
+        churn(&mut snapshot, 1);
+        service.publish(&snapshot, SimTime::from_millis(11));
+        let response = server.handle(&service, &session.request(client));
+        let SyncPayload::Delta { reverified, .. } = &response.payload else {
+            panic!("expected a delta, got {response:?}");
+        };
+        assert_eq!(reverified.len(), 1);
+        assert_eq!(reverified[0].spec, QuerySpec::Isolation);
+        assert!(matches!(
+            reverified[0].result,
+            QueryResult::IsolationStatus { .. }
+        ));
+    }
+
+    #[test]
+    fn delta_transfers_fewer_bytes_than_reset_under_small_churn() {
+        let (service, server, mut snapshot) = setup(16);
+        let client = ClientId(1);
+        let mut session = SyncSession::new();
+        session
+            .apply(&server.handle(&service, &session.request(client)))
+            .unwrap();
+        let rule_count = session.digests().len();
+
+        // ~10% churn.
+        let changes = (rule_count / 10).max(1) as u32;
+        for round in 0..changes {
+            churn(&mut snapshot, round);
+        }
+        service.publish(&snapshot, SimTime::from_millis(30));
+
+        let delta_response = server.handle(&service, &session.request(client));
+        assert!(matches!(delta_response.payload, SyncPayload::Delta { .. }));
+        let reset_equivalent = SyncResponse {
+            session: delta_response.session,
+            serial: delta_response.serial,
+            payload: SyncPayload::Reset {
+                full: service.store().current().digests.iter().copied().collect(),
+            },
+        };
+        assert!(
+            delta_response.encoded_len() < reset_equivalent.encoded_len(),
+            "delta ({} B) must be smaller than a full resend ({} B)",
+            delta_response.encoded_len(),
+            reset_equivalent.encoded_len()
+        );
+        session.apply(&delta_response).unwrap();
+        assert_eq!(session.digests(), &service.store().current().digests);
+    }
+}

@@ -111,7 +111,10 @@ pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize, seed: u64
     for l in 1..=leaves {
         for s in 1..=spines {
             topo.add_link(
-                SwitchPort::new(SwitchId((spines + l) as u32), PortId((hosts_per_leaf + s) as u32)),
+                SwitchPort::new(
+                    SwitchId((spines + l) as u32),
+                    PortId((hosts_per_leaf + s) as u32),
+                ),
                 SwitchPort::new(SwitchId(s as u32), PortId(l as u32)),
                 SimTime::from_micros(LINK_LATENCY_US),
             )
@@ -148,7 +151,10 @@ pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize, seed: u64
 /// `client_count` clients.
 #[must_use]
 pub fn fat_tree(k: usize, client_count: usize) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
     let core_count = half * half;
     let mut topo = Topology::new();
@@ -290,12 +296,9 @@ pub fn waxman_wan(
         next_port[a] += 1;
         next_port[b] += 1;
         let latency = SimTime::from_micros(
-            10 + (GeoPoint::new(positions[a - 1].0, positions[a - 1].1, Region::unknown())
-                .distance(&GeoPoint::new(
-                    positions[b - 1].0,
-                    positions[b - 1].1,
-                    Region::unknown(),
-                )) as u64)
+            10 + (GeoPoint::new(positions[a - 1].0, positions[a - 1].1, Region::unknown()).distance(
+                &GeoPoint::new(positions[b - 1].0, positions[b - 1].1, Region::unknown()),
+            ) as u64)
                 / 10,
         );
         topo.add_link(
@@ -308,12 +311,10 @@ pub fn waxman_wan(
 
     for a in 1..=n {
         for b in a + 1..=n {
-            let d = GeoPoint::new(positions[a - 1].0, positions[a - 1].1, Region::unknown())
-                .distance(&GeoPoint::new(
-                    positions[b - 1].0,
-                    positions[b - 1].1,
-                    Region::unknown(),
-                ));
+            let d =
+                GeoPoint::new(positions[a - 1].0, positions[a - 1].1, Region::unknown()).distance(
+                    &GeoPoint::new(positions[b - 1].0, positions[b - 1].1, Region::unknown()),
+                );
             let p = alpha * (-d / (beta * diag)).exp();
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
                 connect(&mut topo, &mut next_port, a, b);
@@ -374,10 +375,7 @@ mod tests {
         assert_eq!(t.hosts_of_client(ClientId(1)).len(), 3);
         assert_eq!(t.hosts_of_client(ClientId(2)).len(), 2);
         // Path from s1 to s5 has 5 hops.
-        assert_eq!(
-            t.shortest_path(SwitchId(1), SwitchId(5)).unwrap().len(),
-            5
-        );
+        assert_eq!(t.shortest_path(SwitchId(1), SwitchId(5)).unwrap().len(), 5);
     }
 
     #[test]
@@ -386,10 +384,7 @@ mod tests {
         assert_eq!(t.link_count(), 4);
         assert!(t.is_connected());
         // Opposite nodes are 2 hops apart either way (path length 3 nodes).
-        assert_eq!(
-            t.shortest_path(SwitchId(1), SwitchId(3)).unwrap().len(),
-            3
-        );
+        assert_eq!(t.shortest_path(SwitchId(1), SwitchId(3)).unwrap().len(), 3);
     }
 
     #[test]
@@ -471,7 +466,9 @@ mod tests {
             assert_eq!(ips.len(), before, "duplicate host IPs");
             for h in topo.hosts() {
                 // Attachment port exists and is an edge port.
-                assert!(topo.edge_ports(h.attachment.switch).contains(&h.attachment.port));
+                assert!(topo
+                    .edge_ports(h.attachment.switch)
+                    .contains(&h.attachment.port));
             }
         }
     }

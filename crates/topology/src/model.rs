@@ -448,7 +448,10 @@ mod tests {
             t.shortest_path(SwitchId(1), SwitchId(2)),
             Some(vec![SwitchId(1), SwitchId(2)])
         );
-        assert_eq!(t.shortest_path(SwitchId(1), SwitchId(1)), Some(vec![SwitchId(1)]));
+        assert_eq!(
+            t.shortest_path(SwitchId(1), SwitchId(1)),
+            Some(vec![SwitchId(1)])
+        );
 
         let mut disconnected = small_topo();
         disconnected.add_switch(SwitchId(3), 2, loc());

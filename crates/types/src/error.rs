@@ -128,17 +128,11 @@ mod tests {
 
     #[test]
     fn convenience_constructors() {
-        assert_eq!(
-            Error::codec("bad tag").to_string(),
-            "codec error: bad tag"
-        );
+        assert_eq!(Error::codec("bad tag").to_string(), "codec error: bad tag");
         assert_eq!(
             Error::invalid_query("empty").to_string(),
             "invalid query: empty"
         );
-        assert_eq!(
-            Error::internal("oops").to_string(),
-            "internal error: oops"
-        );
+        assert_eq!(Error::internal("oops").to_string(), "internal error: oops");
     }
 }

@@ -148,7 +148,12 @@ mod tests {
     #[test]
     fn record_hop_accumulates_trace() {
         let mut p = Packet::new(header()).from_host(HostId(3));
-        p.record_hop(SwitchId(1), PortId(1), Some(PortId(2)), SimTime::from_micros(1));
+        p.record_hop(
+            SwitchId(1),
+            PortId(1),
+            Some(PortId(2)),
+            SimTime::from_micros(1),
+        );
         p.record_hop(SwitchId(2), PortId(1), None, SimTime::from_micros(2));
         assert_eq!(p.hop_count(), 2);
         assert_eq!(p.visited_switches(), vec![SwitchId(1), SwitchId(2)]);

@@ -12,12 +12,21 @@
 //!
 //! The [`locations`] module builds degraded switch-location maps
 //! (crowd-sourced / inferred) for the geo-location accuracy experiment.
+//!
+//! The [`service_load`] module drives the `rvaas-service` worker pool with
+//! a many-client query workload under epoch churn — the service-plane
+//! counterpart of the in-band scenario.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod locations;
 pub mod scenario;
+pub mod service_load;
 
 pub use locations::{crowd_sourced_map, inferred_map};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};
+pub use service_load::{
+    benign_snapshot, churn_round, clients_of, query_mix, round_robin_workload, run_service_load,
+    ServiceLoadConfig, ServiceLoadReport,
+};

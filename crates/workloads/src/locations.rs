@@ -46,10 +46,7 @@ pub fn inferred_map(
         let truth = sw.location.region.clone();
         let region = if rng.gen_bool(error_rate.clamp(0.0, 1.0)) && !label_pool.is_empty() {
             // Pick a wrong label if possible.
-            let wrong: Vec<&&str> = label_pool
-                .iter()
-                .filter(|l| **l != truth.label())
-                .collect();
+            let wrong: Vec<&&str> = label_pool.iter().filter(|l| **l != truth.label()).collect();
             match wrong.choose(&mut rng) {
                 Some(l) => Region::new(**l),
                 None => truth,
@@ -104,7 +101,9 @@ mod tests {
             .count();
         assert_eq!(wrong, 10, "with error rate 1.0 every label is wrong");
         // All switches still have *some* (non-unknown) label.
-        assert!(topo.switches().all(|sw| !noisy.region_of(sw.id).is_unknown()));
+        assert!(topo
+            .switches()
+            .all(|sw| !noisy.region_of(sw.id).is_unknown()));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The end-to-end scenario harness.
 
 use rvaas::{MonitorConfig, RvaasConfig, RvaasController, RvaasStats, VerifierConfig};
-use rvaas_client::{decode_inband, ClientAgent, ClientAgentConfig, InbandMessage, QueryReply, QuerySpec};
+use rvaas_client::{
+    decode_inband, ClientAgent, ClientAgentConfig, InbandMessage, QueryReply, QuerySpec,
+};
 use rvaas_controlplane::{ProviderController, ScheduledAttack};
 use rvaas_crypto::{Keypair, SignatureScheme};
 use rvaas_netsim::{Network, NetworkConfig};
+use rvaas_service::{ServiceBackend, ServiceConfig};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, HostId, SimTime};
 
@@ -20,6 +23,7 @@ pub struct ScenarioBuilder {
     unresponsive_hosts: Vec<HostId>,
     auth_timeout: SimTime,
     seed: u64,
+    service_workers: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -36,6 +40,7 @@ impl ScenarioBuilder {
             unresponsive_hosts: Vec::new(),
             auth_timeout: SimTime::from_millis(5),
             seed: 0,
+            service_workers: None,
         }
     }
 
@@ -95,6 +100,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Routes the RVaaS controller's logical analysis through the
+    /// `rvaas-service` worker-pool service plane with `workers` threads,
+    /// instead of answering inline in the event handler.
+    #[must_use]
+    pub fn service_backend(mut self, workers: usize) -> Self {
+        self.service_workers = Some(workers.max(1));
+        self
+    }
+
     /// Wires everything together.
     #[must_use]
     pub fn build(self) -> Scenario {
@@ -107,10 +121,17 @@ impl ScenarioBuilder {
         }
         rvaas_config.auth_timeout = self.auth_timeout;
 
-        let mut rvaas = RvaasController::new(
-            rvaas_config,
-            Keypair::generate(SignatureScheme::HmacOracle, 0x5000 + self.seed),
-        );
+        let keypair = Keypair::generate(SignatureScheme::HmacOracle, 0x5000 + self.seed);
+        let mut rvaas = match self.service_workers {
+            None => RvaasController::new(rvaas_config, keypair),
+            Some(workers) => {
+                let backend = ServiceBackend::new(
+                    self.topology.clone(),
+                    ServiceConfig::new(rvaas_config.verifier.clone()).with_workers(workers),
+                );
+                RvaasController::with_backend(rvaas_config, keypair, Box::new(backend))
+            }
+        };
         let rvaas_pk = rvaas.public_key();
 
         let mut agent_boxes = Vec::new();
@@ -253,13 +274,15 @@ impl Scenario {
             .collect()
     }
 
-    /// Convenience accessor: statistics of the RVaaS controller cannot be
-    /// read back out of the engine (it owns the box), so experiments that
-    /// need them use the message counters of the simulator instead. This
-    /// returns a default value and exists to keep the API surface explicit.
+    /// Statistics of the engine-owned RVaaS controller, read back out via
+    /// the simulator's downcast accessor.
     #[must_use]
-    pub fn rvaas_stats_placeholder(&self) -> RvaasStats {
-        RvaasStats::default()
+    pub fn rvaas_stats(&self) -> RvaasStats {
+        self.net
+            .controller_app(rvaas_netsim::ControllerHandle(self.rvaas_controller_index))
+            .and_then(|app| app.downcast_ref::<RvaasController>())
+            .map(RvaasController::stats)
+            .unwrap_or_default()
     }
 }
 
@@ -297,7 +320,37 @@ mod tests {
         assert!(outcome.packet_ins >= 1);
         assert!(outcome.total_control_messages > 0);
         assert_eq!(scenario.rvaas_controller_index(), 1);
-        assert_eq!(scenario.rvaas_stats_placeholder(), RvaasStats::default());
+        let stats = scenario.rvaas_stats();
+        assert_eq!(stats.queries_received, 1);
+        assert_eq!(stats.queries_answered, 1);
+    }
+
+    #[test]
+    fn scenario_with_service_backend_matches_inline_answers() {
+        let topo = generators::line(4, 2);
+        let run = |workers: Option<usize>| {
+            let mut builder = ScenarioBuilder::new(topo.clone())
+                .query(HostId(1), SimTime::from_millis(5), QuerySpec::Isolation)
+                .query(HostId(2), SimTime::from_millis(6), QuerySpec::GeoLocation)
+                .seed(4);
+            if let Some(w) = workers {
+                builder = builder.service_backend(w);
+            }
+            let mut scenario = builder.build();
+            scenario.run_until(SimTime::from_millis(80));
+            (
+                scenario.replies_for(HostId(1)),
+                scenario.replies_for(HostId(2)),
+                scenario.rvaas_stats(),
+            )
+        };
+        let (inline_h1, inline_h2, inline_stats) = run(None);
+        let (svc_h1, svc_h2, svc_stats) = run(Some(3));
+        assert_eq!(inline_h1.len(), 1);
+        assert_eq!(svc_h1.len(), 1);
+        assert_eq!(svc_h1[0].result, inline_h1[0].result);
+        assert_eq!(svc_h2[0].result, inline_h2[0].result);
+        assert_eq!(svc_stats.queries_answered, inline_stats.queries_answered);
     }
 
     #[test]
@@ -318,7 +371,10 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert!(matches!(
             replies[0].result,
-            QueryResult::IsolationStatus { isolated: false, .. }
+            QueryResult::IsolationStatus {
+                isolated: false,
+                ..
+            }
         ));
     }
 

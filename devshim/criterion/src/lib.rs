@@ -1,0 +1,253 @@
+//! Minimal, wall-clock stand-in for the slice of `criterion` this workspace
+//! uses: [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark runs a short warm-up followed by a fixed number of timed
+//! iterations and prints mean / min time per iteration (plus element
+//! throughput when declared). There is no statistical analysis or HTML
+//! report — just enough to run `cargo bench` offline and eyeball trends.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter, mirroring
+    /// `criterion::BenchmarkId::from_parameter`.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    #[must_use]
+    pub fn new<S: Display, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Declared per-iteration workload size, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+        }
+    }
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 || bencher.total.is_zero() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mean = bencher.total / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+    let mut line = format!(
+        "{name:<48} mean {:>12}   min {:>12}",
+        fmt_duration(mean),
+        fmt_duration(bencher.min)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_sec = n as f64 / mean.as_secs_f64();
+        line.push_str(&format!("   {per_sec:>12.0} elem/s"));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let per_sec = n as f64 / mean.as_secs_f64();
+        line.push_str(&format!("   {per_sec:>12.0} B/s"));
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size as u64);
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iters = self.sample_size.unwrap_or(20) as u64;
+        let mut bencher = Bencher::new(iters);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let iters = self.sample_size.unwrap_or(20) as u64;
+        let mut bencher = Bencher::new(iters);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(42u32), &5u64, |b, &x| {
+            b.iter(|| total += x)
+        });
+        group.finish();
+        assert!(total >= 5);
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace uses the serde derives purely as in-memory markers; nothing
+//! ever calls serde's (de)serialization machinery — the wire format is the
+//! hand-written codec in `rvaas-client`. This proc-macro crate accepts the
+//! derive attributes and expands to nothing, which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling without
+//! registry access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
