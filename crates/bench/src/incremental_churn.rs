@@ -1,0 +1,282 @@
+//! Experiment S2 — incremental verification under tenant churn.
+//!
+//! Measures the **epoch-advance cost** — model update + standing-query
+//! reverification — of the incremental verification engine against the
+//! full-rebuild baseline, across churn rates:
+//!
+//! * **full rebuild** (the seed architecture): every epoch advance rebuilds
+//!   the HSA network function from the snapshot, invalidates the whole
+//!   result-cache generation and re-verifies every standing query;
+//! * **incremental**: worker models apply the rule-level epoch delta in
+//!   place, the cache carries provably unaffected entries forward, and only
+//!   standing queries whose interest space intersects the delta's changed
+//!   header region are re-verified.
+//!
+//! Writes the machine-readable trajectory to `BENCH_incremental.json`; the
+//! CI bench-smoke gate fails when `speedup_at_10pct` drops below 1.0 (the
+//! acceptance bar for the feature itself is 3x on a quiet machine).
+//!
+//! Smoke mode (`RVAAS_BENCH_SMOKE=1`) shrinks rounds and churn points so CI
+//! finishes in seconds.
+
+use rvaas_topology::generators;
+use rvaas_workloads::{run_incremental_churn, IncrementalChurnConfig, IncrementalChurnReport};
+
+/// True when the benchmarks should run in reduced "smoke" mode (CI).
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var_os("RVAAS_BENCH_SMOKE").is_some()
+}
+
+/// One churn rate's A/B measurement.
+#[derive(Debug, Clone)]
+pub struct ChurnPoint {
+    /// Clients reconfigured per round.
+    pub churn_clients: usize,
+    /// Fraction of all clients that is.
+    pub churn_fraction: f64,
+    /// Full-rebuild baseline measurements.
+    pub full: IncrementalChurnReport,
+    /// Incremental-engine measurements.
+    pub incremental: IncrementalChurnReport,
+}
+
+impl ChurnPoint {
+    /// Epoch-advance speedup of incremental over full rebuild.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.full.epoch_advance_total.as_secs_f64()
+            / self.incremental.epoch_advance_total.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Everything experiment S2 measured.
+#[derive(Debug, Clone)]
+pub struct IncrementalChurnExperiment {
+    /// Topology label.
+    pub topology: String,
+    /// Distinct clients (each holds the full standing-query mix).
+    pub clients: usize,
+    /// Standing queries registered per run.
+    pub standing_queries: usize,
+    /// Churn/publish/sync rounds per measurement.
+    pub rounds: usize,
+    /// The measured churn rates.
+    pub points: Vec<ChurnPoint>,
+    /// Whether smoke mode was active.
+    pub smoke: bool,
+    /// Cores visible to this process.
+    pub host_cores: usize,
+}
+
+impl IncrementalChurnExperiment {
+    /// The point closest to 10% churn (the headline number).
+    #[must_use]
+    pub fn point_near_10pct(&self) -> Option<&ChurnPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.churn_fraction - 0.1)
+                .abs()
+                .total_cmp(&(b.churn_fraction - 0.1).abs())
+        })
+    }
+
+    /// Speedup at the ~10% churn point (0 when nothing was measured).
+    #[must_use]
+    pub fn speedup_at_10pct(&self) -> f64 {
+        self.point_near_10pct().map_or(0.0, ChurnPoint::speedup)
+    }
+
+    /// The human-readable table.
+    #[must_use]
+    pub fn rows(&self) -> Vec<String> {
+        let mut rows = vec![
+            "# S2 — incremental verification under tenant churn (delta → affected header space → targeted re-verify)".to_string(),
+            format!(
+                "workload: {} | clients={} | standing_queries={} | rounds={} | host_cores={}{}",
+                self.topology,
+                self.clients,
+                self.standing_queries,
+                self.rounds,
+                self.host_cores,
+                if self.smoke { " | SMOKE" } else { "" },
+            ),
+            "churn | full_advance_us | incr_advance_us | speedup | full_reverified | incr_reverified | incr_skipped | cache_hit(incr)".to_string(),
+        ];
+        for point in &self.points {
+            rows.push(format!(
+                "{:.0}% | {} | {} | {:.2} | {} | {} | {} | {:.2}",
+                point.churn_fraction * 100.0,
+                point.full.epoch_advance_avg.as_micros(),
+                point.incremental.epoch_advance_avg.as_micros(),
+                point.speedup(),
+                point.full.reverified,
+                point.incremental.reverified,
+                point.incremental.skipped,
+                point.incremental.cache_hit_rate,
+            ));
+        }
+        rows.push(format!(
+            "speedup at ~10% churn = {:.2}x (gate: >= 1.0 in CI, target 3x)",
+            self.speedup_at_10pct()
+        ));
+        rows
+    }
+
+    /// The machine-readable trajectory.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "{{\"churn_clients\":{},\"churn_fraction\":{:.4},",
+                        "\"rule_changes\":{},",
+                        "\"full\":{{\"epoch_advance_avg_us\":{},\"reverified\":{},\"skipped\":{},\"model_rebuilds\":{}}},",
+                        "\"incremental\":{{\"epoch_advance_avg_us\":{},\"reverified\":{},\"skipped\":{},\"incremental_applies\":{},\"model_rebuilds\":{},\"cache_hit_rate\":{:.4}}},",
+                        "\"speedup\":{:.3}}}",
+                    ),
+                    p.churn_clients,
+                    p.churn_fraction,
+                    p.incremental.rule_changes,
+                    p.full.epoch_advance_avg.as_micros(),
+                    p.full.reverified,
+                    p.full.skipped,
+                    p.full.model_rebuilds,
+                    p.incremental.epoch_advance_avg.as_micros(),
+                    p.incremental.reverified,
+                    p.incremental.skipped,
+                    p.incremental.incremental_applies,
+                    p.incremental.model_rebuilds,
+                    p.incremental.cache_hit_rate,
+                    p.speedup(),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"incremental_churn\",\n",
+                "  \"topology\": \"{}\",\n",
+                "  \"clients\": {},\n",
+                "  \"standing_queries\": {},\n",
+                "  \"rounds\": {},\n",
+                "  \"smoke\": {},\n",
+                "  \"host_cores\": {},\n",
+                "  \"points\": [{}],\n",
+                "  \"speedup_at_10pct\": {:.3}\n",
+                "}}\n",
+            ),
+            self.topology,
+            self.clients,
+            self.standing_queries,
+            self.rounds,
+            self.smoke,
+            self.host_cores,
+            points.join(","),
+            self.speedup_at_10pct(),
+        )
+    }
+}
+
+/// Runs the A/B measurement over `topology` for the given churn rates.
+#[must_use]
+pub fn measure_incremental_churn(
+    topology: &rvaas_topology::Topology,
+    label: &str,
+    rounds: usize,
+    churn_points: &[usize],
+    rules_per_client: usize,
+) -> IncrementalChurnExperiment {
+    let clients = rvaas_workloads::clients_of(topology).len().max(1);
+    let mut points = Vec::new();
+    for &churn_clients in churn_points {
+        let base = IncrementalChurnConfig {
+            workers: 2,
+            incremental: true,
+            rounds,
+            churn_clients_per_round: churn_clients,
+            rules_per_client,
+        };
+        let incremental = run_incremental_churn(topology, &base);
+        let full = run_incremental_churn(
+            topology,
+            &IncrementalChurnConfig {
+                incremental: false,
+                ..base
+            },
+        );
+        points.push(ChurnPoint {
+            churn_clients,
+            churn_fraction: churn_clients as f64 / clients as f64,
+            full,
+            incremental,
+        });
+    }
+    IncrementalChurnExperiment {
+        topology: label.to_string(),
+        clients,
+        standing_queries: points.first().map_or(0, |p| p.incremental.standing_queries),
+        rounds,
+        points,
+        smoke: smoke_mode(),
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Runs experiment S2 on the standard workload and writes
+/// `BENCH_incremental.json` next to the working directory.
+pub fn exp_s2_incremental_churn() -> Vec<String> {
+    // Big enough that HSA traversal work dominates the (shared) snapshot
+    // digesting cost of a publish; 10 clients, so 1 churned client per
+    // round = 10% churn.
+    let (topology, label, rounds, churn_points): (_, _, usize, Vec<usize>) = if smoke_mode() {
+        (
+            generators::fat_tree(4, 10),
+            "fat_tree(4) x 10 clients",
+            2,
+            vec![1, 5],
+        )
+    } else {
+        (
+            generators::fat_tree(6, 20),
+            "fat_tree(6) x 20 clients",
+            4,
+            vec![2, 4, 10, 20],
+        )
+    };
+    let report = measure_incremental_churn(&topology, label, rounds, &churn_points, 4);
+    let json = report.to_json();
+    let path = "BENCH_incremental.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("(wrote {path})"),
+        Err(err) => eprintln!("(could not write {path}: {err})"),
+    }
+    report.rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_measurement_produces_consistent_report() {
+        let topology = generators::leaf_spine(2, 4, 2, 1);
+        let report = measure_incremental_churn(&topology, "leaf_spine(2,4,2)", 2, &[1], 2);
+        assert_eq!(report.points.len(), 1);
+        let point = &report.points[0];
+        assert!(point.speedup() > 0.0);
+        assert_eq!(point.full.skipped, 0, "baseline re-verifies everything");
+        assert!(
+            point.incremental.reverified < point.full.reverified,
+            "incremental must re-verify a strict subset: {point:?}"
+        );
+        assert!(point.incremental.skipped > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"incremental_churn\""));
+        assert!(json.contains("\"speedup_at_10pct\""));
+        let rows = report.rows();
+        assert!(rows.iter().any(|r| r.contains("speedup at ~10% churn")));
+    }
+}

@@ -15,7 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod incremental_churn;
 pub mod service_throughput;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};
+pub use incremental_churn::{
+    exp_s2_incremental_churn, measure_incremental_churn, smoke_mode, IncrementalChurnExperiment,
+};
 pub use service_throughput::{exp_s1_service_throughput, measure, ServiceThroughputReport};

@@ -61,6 +61,9 @@ pub struct ServiceThroughputReport {
     pub sync_full_bytes: usize,
     /// Cores visible to this process (thread scaling context).
     pub host_cores: usize,
+    /// Whether the reduced smoke-mode workload was measured (CI); smoke
+    /// numbers must not be mistaken for the committed full-size trajectory.
+    pub smoke: bool,
 }
 
 fn verifier_config(topology: &Topology) -> VerifierConfig {
@@ -191,6 +194,7 @@ pub fn measure(
         sync_delta_bytes,
         sync_full_bytes,
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        smoke: crate::incremental_churn::smoke_mode(),
     }
 }
 
@@ -277,6 +281,7 @@ impl ServiceThroughputReport {
                 "  \"topology\": \"{}\",\n",
                 "  \"clients\": {},\n",
                 "  \"queries\": {},\n",
+                "  \"smoke\": {},\n",
                 "  \"host_cores\": {},\n",
                 "  \"inline_baseline_qps\": {:.1},\n",
                 "  \"pool\": [{}],\n",
@@ -289,6 +294,7 @@ impl ServiceThroughputReport {
             self.topology,
             self.clients,
             self.queries,
+            self.smoke,
             self.host_cores,
             self.inline_qps,
             pool.join(","),
@@ -308,7 +314,14 @@ impl ServiceThroughputReport {
 /// `BENCH_service.json` next to the working directory.
 pub fn exp_s1_service_throughput() -> Vec<String> {
     let topology = generators::fat_tree(4, 8);
-    let report = measure(&topology, "fat_tree(4) x 8 clients", 4, 192);
+    // Smoke mode (CI) shrinks the workload; the JSON carries a `smoke` flag
+    // so reduced runs cannot masquerade as the committed trajectory.
+    let (rounds, queries) = if crate::incremental_churn::smoke_mode() {
+        (2, 48)
+    } else {
+        (4, 192)
+    };
+    let report = measure(&topology, "fat_tree(4) x 8 clients", rounds, queries);
     let json = report.to_json();
     let path = "BENCH_service.json";
     match std::fs::write(path, &json) {

@@ -23,7 +23,10 @@
 //! Attestation of the controller itself (so clients and the provider can
 //! check that the *genuine* RVaaS code is answering) is provided by
 //! [`attest`] on top of the simulated enclave, and [`federation`] extends
-//! queries across multiple providers.
+//! queries across multiple providers. The [`incremental`] module keeps a
+//! long-lived HSA model in sync with configuration churn by applying
+//! rule-level deltas in place and reports the changed header region, so the
+//! service plane re-verifies only the standing queries a delta can affect.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 pub mod attest;
 pub mod backend;
 pub mod federation;
+pub mod incremental;
 pub mod monitor;
 pub mod service;
 pub mod snapshot;
@@ -51,6 +55,7 @@ pub mod verify;
 
 pub use attest::{AttestedIdentity, RVAAS_IMAGE};
 pub use backend::{AnalysisBackend, InlineBackend};
+pub use incremental::{query_affected, ChangedRegion, IncrementalModel, RuleChange};
 pub use monitor::{ConfigMonitor, MonitorConfig, MonitorStats, PollStrategy};
 pub use service::{RvaasConfig, RvaasController, RvaasStats};
 pub use snapshot::NetworkSnapshot;

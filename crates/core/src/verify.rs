@@ -10,6 +10,7 @@
 //! *hop counts* to clients — never switch identities or paths — preserving
 //! the provider's topology confidentiality as required by the paper.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use rvaas_client::{EndpointReport, NeutralityViolation, QueryResult, QuerySpec};
@@ -128,7 +129,31 @@ impl LogicalVerifier {
         QueryEvaluator {
             verifier: self,
             snapshot,
-            nf: self.function_for(snapshot),
+            nf: Cow::Owned(self.function_for(snapshot)),
+            emission: BTreeMap::new(),
+            source_reach: BTreeMap::new(),
+        }
+    }
+
+    /// Like [`LogicalVerifier::evaluator`], but borrows an externally
+    /// maintained network function instead of rebuilding one from the
+    /// snapshot — the entry point for the incremental verification engine,
+    /// where an [`crate::incremental::IncrementalModel`] keeps the function
+    /// up to date by applying epoch deltas in place.
+    ///
+    /// The caller is responsible for `nf` actually modelling `snapshot`
+    /// (including the history mode the verifier is configured with);
+    /// divergence between the two silently skews answers.
+    #[must_use]
+    pub fn evaluator_with<'a>(
+        &'a self,
+        snapshot: &'a NetworkSnapshot,
+        nf: &'a NetworkFunction,
+    ) -> QueryEvaluator<'a> {
+        QueryEvaluator {
+            verifier: self,
+            snapshot,
+            nf: Cow::Borrowed(nf),
             emission: BTreeMap::new(),
             source_reach: BTreeMap::new(),
         }
@@ -222,7 +247,7 @@ impl LogicalVerifier {
 pub struct QueryEvaluator<'a> {
     verifier: &'a LogicalVerifier,
     snapshot: &'a NetworkSnapshot,
-    nf: NetworkFunction,
+    nf: Cow<'a, NetworkFunction>,
     /// Memoised `reachable_from(host, emission_space(host))` per source host.
     emission: BTreeMap<HostId, ReachabilityResult>,
     /// Memoised "source host can reach some access point of client".

@@ -44,7 +44,8 @@ pub mod transfer;
 
 pub use cube::Cube;
 pub use reachability::{
-    LoopReport, ReachabilityEngine, ReachabilityOptions, ReachabilityResult, ReachedEndpoint,
+    reachability_equivalent, LoopReport, ReachabilityEngine, ReachabilityOptions,
+    ReachabilityResult, ReachedEndpoint,
 };
 pub use space::HeaderSpace;
 pub use transfer::{NetworkFunction, PortSpace, RuleAction, RuleTransfer, SwitchTransfer};

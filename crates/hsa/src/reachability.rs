@@ -284,6 +284,43 @@ impl<'a> ReachabilityEngine<'a> {
     }
 }
 
+/// True when two network functions are *reachability-equivalent*: injecting
+/// the full header space at every edge port of either function reaches the
+/// same egress ports carrying the same header sets. Spaces are compared
+/// semantically (mutual subtraction), not representationally, so differently
+/// factored but equal unions of cubes compare equal.
+///
+/// This is the oracle behind the incremental-model property tests: a network
+/// function updated rule-by-rule in place must stay equivalent to one rebuilt
+/// from scratch.
+#[must_use]
+pub fn reachability_equivalent(a: &NetworkFunction, b: &NetworkFunction) -> bool {
+    let mut ports_a = a.all_edge_ports();
+    let mut ports_b = b.all_edge_ports();
+    ports_a.sort();
+    ports_b.sort();
+    if ports_a != ports_b {
+        return false;
+    }
+    let engine_a = ReachabilityEngine::new(a);
+    let engine_b = ReachabilityEngine::new(b);
+    for ingress in ports_a {
+        let result_a = engine_a.reachable_from(ingress, HeaderSpace::all());
+        let result_b = engine_b.reachable_from(ingress, HeaderSpace::all());
+        if result_a.reached_ports() != result_b.reached_ports() {
+            return false;
+        }
+        for port in result_a.reached_ports() {
+            let space_a = result_a.space_reaching(port);
+            let space_b = result_b.space_reaching(port);
+            if !space_a.subtract(&space_b).is_empty() || !space_b.subtract(&space_a).is_empty() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +483,30 @@ mod tests {
         let result = engine.reachable_from(sp(1, 1), HeaderSpace::from(dst_match(2)));
         assert!(result.endpoints.is_empty());
         assert!(result.truncated_branches > 0);
+    }
+
+    #[test]
+    fn reachability_equivalence_oracle() {
+        let nf = line_network();
+        // Identical functions are equivalent, and an incrementally mutated
+        // copy stays equivalent to a rebuilt one as long as the rule *sets*
+        // agree semantically.
+        assert!(reachability_equivalent(&nf, &nf.clone()));
+        // A rule matching traffic that was already dropped upstream changes
+        // nothing: the oracle compares behaviour, not rule lists.
+        let mut incremental = line_network();
+        let inert = RuleTransfer::new(50, dst_match(7), RuleAction::Drop);
+        incremental.insert_rule(SwitchId(2), inert.clone());
+        assert!(reachability_equivalent(&nf, &incremental));
+        incremental.remove_rule(SwitchId(2), &inert);
+        assert!(reachability_equivalent(&nf, &incremental));
+        // A behaviour-changing rule breaks equivalence.
+        let mut diverged = line_network();
+        diverged.insert_rule(
+            SwitchId(1),
+            RuleTransfer::new(99, dst_match(2), RuleAction::Drop),
+        );
+        assert!(!reachability_equivalent(&nf, &diverged));
     }
 
     #[test]

@@ -141,6 +141,81 @@ impl SwitchTransfer {
         self.sort();
     }
 
+    /// Inserts `rule` in place, preserving the priority-sorted invariant
+    /// without re-sorting: the rule lands *after* every existing rule of
+    /// greater-or-equal priority, so equal-priority rules keep arrival order
+    /// exactly as [`SwitchTransfer::add_rule`]'s stable sort (and a real
+    /// switch's table) would. This is the `O(log n + n)` update path the
+    /// incremental verification model uses instead of rebuilding the table.
+    /// Returns the index the rule occupies after insertion.
+    pub fn insert_rule(&mut self, rule: RuleTransfer) -> usize {
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(pos, rule);
+        pos
+    }
+
+    /// Index of the first rule equivalent to `rule`: same priority, ingress
+    /// constraint, match cube and action. Cookies are deliberately ignored —
+    /// two rules that match and act identically are the same rule as far as
+    /// verification is concerned (mirroring the service plane's digests).
+    #[must_use]
+    pub fn position_of(&self, rule: &RuleTransfer) -> Option<usize> {
+        self.rules.iter().position(|r| {
+            r.priority == rule.priority
+                && r.in_port == rule.in_port
+                && r.match_cube == rule.match_cube
+                && r.action == rule.action
+        })
+    }
+
+    /// Removes the first rule equivalent to `rule` (see
+    /// [`SwitchTransfer::position_of`]), preserving the order of the
+    /// survivors, and returns it.
+    pub fn remove_rule(&mut self, rule: &RuleTransfer) -> Option<RuleTransfer> {
+        let pos = self.position_of(rule)?;
+        Some(self.rules.remove(pos))
+    }
+
+    /// The *exposed* header region of the rule at `index`: its match cube
+    /// minus everything shadowed by rules earlier in the match order. This is
+    /// exactly the region whose forwarding behaviour changes when the rule is
+    /// inserted or removed — lower-priority rules lose or regain precisely
+    /// this region, so it doubles as the "affected header space" of an
+    /// incremental update (the shadowing/priority repair).
+    ///
+    /// A rule earlier in the order shadows only if its ingress constraint
+    /// covers this rule's; partially overlapping port constraints are left
+    /// unsubtracted, over-approximating the exposed region (safe direction
+    /// for invalidation). When the subtraction grows past an internal cube
+    /// budget the full match cube is returned instead — again a safe
+    /// over-approximation.
+    #[must_use]
+    pub fn exposed_region(&self, index: usize) -> HeaderSpace {
+        /// Past this many cubes the exact exposed region costs more than the
+        /// re-verification it would save; fall back to the whole match cube.
+        const CUBE_BUDGET: usize = 64;
+        let rule = &self.rules[index];
+        let mut region = HeaderSpace::from(rule.match_cube);
+        for earlier in &self.rules[..index] {
+            let covers_port = match (earlier.in_port, rule.in_port) {
+                (None, _) => true,
+                (Some(a), Some(b)) => a == b,
+                (Some(_), None) => false,
+            };
+            if !covers_port {
+                continue;
+            }
+            region = region.subtract_cube(&earlier.match_cube);
+            if region.is_empty() {
+                break;
+            }
+            if region.cube_count() > CUBE_BUDGET {
+                return HeaderSpace::from(rule.match_cube);
+            }
+        }
+        region
+    }
+
     /// Removes all rules with the given cookie; returns how many were removed.
     pub fn remove_by_cookie(&mut self, cookie: FlowCookie) -> usize {
         let before = self.rules.len();
@@ -281,6 +356,36 @@ impl NetworkFunction {
     #[must_use]
     pub fn transfer(&self, switch: SwitchId) -> Option<&SwitchTransfer> {
         self.switches.get(&switch)
+    }
+
+    /// Mutable access to the transfer function of `switch`, declaring the
+    /// switch (with no ports) if it was unknown.
+    pub fn transfer_mut(&mut self, switch: SwitchId) -> &mut SwitchTransfer {
+        self.ports.entry(switch).or_default();
+        self.switches.entry(switch).or_default()
+    }
+
+    /// Incrementally inserts one rule on `switch` and returns the affected
+    /// header region: the part of the rule's match cube it now actually
+    /// serves (everything not shadowed by higher-precedence rules). The rest
+    /// of the network function is untouched — this is the `O(delta)`
+    /// alternative to rebuilding the whole function on every change.
+    pub fn insert_rule(&mut self, switch: SwitchId, rule: RuleTransfer) -> HeaderSpace {
+        let transfer = self.transfer_mut(switch);
+        let index = transfer.insert_rule(rule);
+        transfer.exposed_region(index)
+    }
+
+    /// Incrementally removes the rule equivalent to `rule` from `switch` and
+    /// returns the affected header region it was serving (the traffic that
+    /// now falls through to lower-precedence rules or the table-miss drop).
+    /// Returns `None` when no equivalent rule is installed.
+    pub fn remove_rule(&mut self, switch: SwitchId, rule: &RuleTransfer) -> Option<HeaderSpace> {
+        let transfer = self.switches.get_mut(&switch)?;
+        let index = transfer.position_of(rule)?;
+        let region = transfer.exposed_region(index);
+        transfer.remove_rule(rule);
+        Some(region)
     }
 
     /// Connects two switch ports with a bidirectional internal link.
@@ -485,6 +590,105 @@ mod tests {
         assert_eq!(t.remove_by_cookie(FlowCookie(7)), 1);
         assert_eq!(t.len(), 1);
         assert_eq!(t.remove_by_cookie(FlowCookie(7)), 0);
+    }
+
+    #[test]
+    fn insert_rule_matches_full_rebuild_order() {
+        // Incremental insertion must land rules exactly where the stable
+        // sort of a full rebuild would put them, including equal priorities.
+        let rules = [
+            RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(1))),
+            RuleTransfer::new(30, dst_match(2), RuleAction::forward(PortId(2))),
+            RuleTransfer::new(10, dst_match(3), RuleAction::forward(PortId(3))),
+            RuleTransfer::new(20, dst_match(4), RuleAction::Drop),
+            RuleTransfer::new(30, dst_match(5), RuleAction::forward(PortId(5))),
+        ];
+        let rebuilt = SwitchTransfer::from_rules(rules.clone());
+        let mut incremental = SwitchTransfer::new();
+        for rule in rules {
+            incremental.insert_rule(rule);
+        }
+        assert_eq!(incremental, rebuilt);
+    }
+
+    #[test]
+    fn remove_rule_is_cookie_insensitive_and_order_preserving() {
+        let mut t = SwitchTransfer::from_rules([
+            RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(1)))
+                .with_cookie(FlowCookie(1)),
+            RuleTransfer::new(10, dst_match(2), RuleAction::forward(PortId(2)))
+                .with_cookie(FlowCookie(2)),
+            RuleTransfer::new(10, dst_match(3), RuleAction::forward(PortId(3)))
+                .with_cookie(FlowCookie(3)),
+        ]);
+        // Same match/action but a different cookie still identifies the rule.
+        let probe = RuleTransfer::new(10, dst_match(2), RuleAction::forward(PortId(2)))
+            .with_cookie(FlowCookie(99));
+        let removed = t.remove_rule(&probe).expect("equivalent rule found");
+        assert_eq!(removed.cookie, FlowCookie(2));
+        let dsts: Vec<Option<u64>> = t
+            .rules()
+            .iter()
+            .map(|r| r.match_cube.field_exact(Field::IpDst))
+            .collect();
+        assert_eq!(dsts, vec![Some(1), Some(3)]);
+        // A different action is a different rule.
+        let wrong_action = RuleTransfer::new(10, dst_match(1), RuleAction::Drop);
+        assert!(t.remove_rule(&wrong_action).is_none());
+    }
+
+    #[test]
+    fn exposed_region_subtracts_shadowing_rules() {
+        let t = SwitchTransfer::from_rules([
+            RuleTransfer::new(100, dst_match(1), RuleAction::Drop),
+            RuleTransfer::new(10, Cube::wildcard(), RuleAction::forward(PortId(9))),
+        ]);
+        // The wildcard rule is shadowed on dst=1 by the high-priority drop.
+        let region = t.exposed_region(1);
+        assert!(!region.contains(&header_to(1)));
+        assert!(region.contains(&header_to(2)));
+        // The top rule is fully exposed.
+        assert_eq!(t.exposed_region(0), HeaderSpace::from(dst_match(1)));
+    }
+
+    #[test]
+    fn exposed_region_honours_port_constraints() {
+        let t = SwitchTransfer::from_rules([
+            RuleTransfer::new(100, dst_match(1), RuleAction::Drop).on_port(PortId(7)),
+            RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(9))).on_port(PortId(8)),
+            RuleTransfer::new(5, dst_match(1), RuleAction::forward(PortId(2))).on_port(PortId(7)),
+        ]);
+        // Rule on port 8 is not shadowed by the port-7 drop.
+        assert!(t.exposed_region(1).contains(&header_to(1)));
+        // Rule on port 7 is shadowed by the port-7 drop.
+        assert!(t.exposed_region(2).is_empty());
+    }
+
+    #[test]
+    fn network_function_incremental_insert_remove_roundtrip() {
+        let mut nf = NetworkFunction::new();
+        nf.declare_switch(SwitchId(1), [PortId(1), PortId(2)]);
+        let rule = RuleTransfer::new(10, dst_match(1), RuleAction::forward(PortId(2)));
+        let inserted_region = nf.insert_rule(SwitchId(1), rule.clone());
+        assert!(inserted_region.contains(&header_to(1)));
+        assert_eq!(nf.rule_count(), 1);
+        // Shadow it entirely: the new rule's exposed region is full, and the
+        // shadowed rule's removal affects nothing.
+        let shadow = RuleTransfer::new(100, dst_match(1), RuleAction::Drop);
+        let shadow_region = nf.insert_rule(SwitchId(1), shadow);
+        assert!(shadow_region.contains(&header_to(1)));
+        let removed_region = nf.remove_rule(SwitchId(1), &rule).expect("installed");
+        assert!(
+            removed_region.is_empty(),
+            "fully shadowed rule: {removed_region}"
+        );
+        assert_eq!(nf.rule_count(), 1);
+        assert!(nf.remove_rule(SwitchId(1), &rule).is_none());
+        assert!(nf.remove_rule(SwitchId(9), &rule).is_none());
+        // Inserting on an unknown switch declares it.
+        let region = nf.insert_rule(SwitchId(3), rule);
+        assert!(!region.is_empty());
+        assert_eq!(nf.switch_count(), 2);
     }
 
     #[test]

@@ -120,3 +120,155 @@ fn packet_traces_respect_the_wiring_plan() {
     );
     let _ = HostId(1);
 }
+
+// ---------------------------------------------------------------------------
+// Incremental verification engine: cross-crate equivalence and soundness.
+// ---------------------------------------------------------------------------
+
+/// A tenant-pinned rule above the benign priorities, as the incremental
+/// churn workload installs them.
+fn tenant_entry(src_ip: u32, dst_ip: u32) -> rvaas_openflow::FlowEntry {
+    rvaas_openflow::FlowEntry::new(
+        400,
+        rvaas_openflow::FlowMatch::from_ip(src_ip).field(Field::IpDst, u64::from(dst_ip)),
+        vec![rvaas_openflow::Action::Drop],
+    )
+}
+
+fn benign_snapshot_of(topo: &rvaas_topology::Topology) -> NetworkSnapshot {
+    let mut snapshot = NetworkSnapshot::new(SimTime::from_secs(1));
+    for (switch, entry) in benign_rules(topo) {
+        snapshot.record_installed(switch, entry, SimTime::from_millis(1));
+    }
+    snapshot
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Driving an [`rvaas::IncrementalModel`] purely from the service
+    /// plane's epoch deltas — digest diffing, arrival-order rule resolution
+    /// and multi-epoch aggregation included — keeps it
+    /// reachability-equivalent to a from-scratch rebuild of the final
+    /// snapshot.
+    #[test]
+    fn incremental_model_tracks_epoch_deltas(
+        ops in proptest::collection::vec((0usize..6, 0usize..6, 1u32..5, any::<bool>()), 1..10),
+    ) {
+        use rvaas_service::EpochStore;
+
+        let topo = generators::line(4, 2);
+        let ips: Vec<u32> = topo.hosts().map(|h| h.ip).collect();
+        let mut snapshot = benign_snapshot_of(&topo);
+        let store = EpochStore::new(64);
+        store.publish(snapshot.clone(), SimTime::from_millis(1));
+
+        let mut model = rvaas::IncrementalModel::new(topo.clone());
+        let mut model_serial = 0u64;
+        for (i, (src, dst, sw, install)) in ops.iter().enumerate() {
+            let entry = tenant_entry(ips[src % ips.len()], ips[dst % ips.len()]);
+            let switch = rvaas_types::SwitchId(*sw);
+            let at = SimTime::from_millis(10 + i as u64);
+            let present = snapshot
+                .table_of(switch)
+                .iter()
+                .any(|e| e.priority == entry.priority && e.flow_match == entry.flow_match);
+            if *install && !present {
+                snapshot.record_installed(switch, entry, at);
+            } else if !*install && present {
+                snapshot.record_removed(switch, &entry, at);
+            } else {
+                continue;
+            }
+            store.publish(snapshot.clone(), at);
+            // Catch the model up every other step so some syncs aggregate
+            // more than one epoch's delta.
+            if i % 2 == 0 {
+                let current = store.current();
+                let delta = store
+                    .delta_between(model_serial, current.serial)
+                    .expect("retained window");
+                model.apply(&delta.rule_changes());
+                model_serial = current.serial;
+            }
+        }
+        let current = store.current();
+        if model_serial != current.serial {
+            let delta = store
+                .delta_between(model_serial, current.serial)
+                .expect("retained window");
+            model.apply(&delta.rule_changes());
+        }
+        prop_assert!(
+            rvaas_hsa::reachability_equivalent(
+                model.network_function(),
+                &snapshot.to_network_function(&topo),
+            ),
+            "incremental model diverged from rebuild after {} ops", ops.len()
+        );
+    }
+
+    /// Soundness of the affected-query computation: any standing query the
+    /// changed region reports as *unaffected* must produce exactly the same
+    /// verdict on the new snapshot as on the old one.
+    #[test]
+    fn unaffected_queries_keep_their_verdicts(
+        ops in proptest::collection::vec((0usize..6, 0usize..6, 1u32..5, any::<bool>()), 1..6),
+    ) {
+        use rvaas_client::QuerySpec;
+        use rvaas_types::ClientId;
+
+        let topo = generators::line(4, 2);
+        let ips: Vec<u32> = topo.hosts().map(|h| h.ip).collect();
+        let before = benign_snapshot_of(&topo);
+        let mut after = before.clone();
+        let mut model = rvaas::IncrementalModel::from_snapshot(topo.clone(), &before);
+
+        let mut changes = Vec::new();
+        for (src, dst, sw, install) in &ops {
+            let entry = tenant_entry(ips[src % ips.len()], ips[dst % ips.len()]);
+            let switch = rvaas_types::SwitchId(*sw);
+            let present = after
+                .table_of(switch)
+                .iter()
+                .any(|e| e.priority == entry.priority && e.flow_match == entry.flow_match);
+            if *install && !present {
+                after.record_installed(switch, entry.clone(), SimTime::from_millis(9));
+                changes.push(rvaas::RuleChange::installed(switch, entry));
+            } else if !*install && present {
+                after.record_removed(switch, &entry, SimTime::from_millis(9));
+                changes.push(rvaas::RuleChange::removed(switch, entry));
+            }
+        }
+        let region = model.apply(&changes);
+
+        let verifier = rvaas::LogicalVerifier::new(
+            topo.clone(),
+            rvaas::VerifierConfig {
+                use_history: false,
+                locations: rvaas::LocationMap::disclosed(&topo),
+            },
+        );
+        let some_ip = ips[0];
+        let specs = [
+            QuerySpec::ReachableDestinations,
+            QuerySpec::ReachingSources,
+            QuerySpec::Isolation,
+            QuerySpec::GeoLocation,
+            QuerySpec::PathLength { to_ip: some_ip },
+            QuerySpec::Neutrality,
+        ];
+        for client in [ClientId(1), ClientId(2)] {
+            for spec in &specs {
+                if !rvaas::query_affected(&topo, client, spec, &region) {
+                    prop_assert_eq!(
+                        verifier.answer(&before, client, spec),
+                        verifier.answer(&after, client, spec),
+                        "query {:?}/{:?} was reported unaffected but changed verdict",
+                        client, spec
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,8 +1,15 @@
-//! The `(epoch serial, client, query)` result cache.
+//! The `(epoch serial, client, query)` result cache with per-affected-query
+//! invalidation.
 //!
-//! Results are only valid for the exact epoch they were computed against, so
-//! the cache keys on the serial and drops stale generations wholesale when
-//! the epoch advances — there is no per-entry invalidation to get wrong.
+//! The first service-plane revision dropped whole cache generations on every
+//! epoch advance, which collapsed the hit rate under any churn even when a
+//! delta could not possibly have changed most answers. The cache now keys
+//! entries by `(client, query)` with a per-entry validity serial: on epoch
+//! advance ([`ResultCache::advance`]) the publisher passes the
+//! affected-query predicate derived from the delta's changed header region,
+//! unaffected entries are *carried forward* to the new serial (their answer
+//! is provably unchanged — see `rvaas::incremental`), and only the affected
+//! ones are invalidated.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,11 +18,13 @@ use std::sync::Mutex;
 use rvaas_client::{QueryResult, QuerySpec};
 use rvaas_types::ClientId;
 
-/// Cache hit/miss counters (monotonic, lock-free).
+/// Cache activity counters (monotonic, lock-free).
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
+    carried: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl CacheStats {
@@ -31,6 +40,19 @@ impl CacheStats {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries carried forward across epoch advances (still valid because
+    /// the delta could not affect them).
+    #[must_use]
+    pub fn carried(&self) -> u64 {
+        self.carried.load(Ordering::Relaxed)
+    }
+
+    /// Entries invalidated by epoch advances.
+    #[must_use]
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+
     /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
@@ -44,13 +66,18 @@ impl CacheStats {
     }
 }
 
-/// One cache generation: the epoch serial it is valid for and its entries.
-type Generation = (u64, HashMap<(ClientId, QuerySpec), QueryResult>);
+/// Entries keyed by `(client, query)`, each valid for exactly one serial.
+#[derive(Debug, Default)]
+struct CacheState {
+    /// The latest serial the cache has been advanced to.
+    serial: u64,
+    entries: HashMap<(ClientId, QuerySpec), (u64, QueryResult)>,
+}
 
 /// The shared query-result cache.
 #[derive(Debug)]
 pub struct ResultCache {
-    entries: Mutex<Generation>,
+    state: Mutex<CacheState>,
     stats: CacheStats,
     enabled: bool,
 }
@@ -61,13 +88,13 @@ impl ResultCache {
     #[must_use]
     pub fn new(enabled: bool) -> Self {
         ResultCache {
-            entries: Mutex::new((0, HashMap::new())),
+            state: Mutex::new(CacheState::default()),
             stats: CacheStats::default(),
             enabled,
         }
     }
 
-    /// Looks up a result computed at `serial` for `(client, spec)`.
+    /// Looks up a result valid at `serial` for `(client, spec)`.
     #[must_use]
     pub fn get(&self, serial: u64, client: ClientId, spec: &QuerySpec) -> Option<QueryResult> {
         if !self.enabled {
@@ -75,14 +102,14 @@ impl ResultCache {
             return None;
         }
         let guard = self
-            .entries
+            .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let result = if guard.0 == serial {
-            guard.1.get(&(client, spec.clone())).cloned()
-        } else {
-            None
-        };
+        let result = guard
+            .entries
+            .get(&(client, spec.clone()))
+            .filter(|(valid_at, _)| *valid_at == serial)
+            .map(|(_, result)| result.clone());
         drop(guard);
         if result.is_some() {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -92,29 +119,75 @@ impl ResultCache {
         result
     }
 
-    /// Stores a result computed at `serial`. A result from a newer epoch
-    /// than the cache generation drops the stale generation first; results
-    /// from older epochs (computed by a worker that raced a publish) are
-    /// discarded rather than poisoning the newer generation.
+    /// Stores a result computed at `serial`. Results older than the cache's
+    /// current generation (computed by a worker that raced a publish) are
+    /// discarded rather than clobbering a fresher entry.
     pub fn put(&self, serial: u64, client: ClientId, spec: QuerySpec, result: QueryResult) {
         if !self.enabled {
             return;
         }
         let mut guard = self
-            .entries
+            .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match serial.cmp(&guard.0) {
-            std::cmp::Ordering::Greater => {
-                guard.0 = serial;
-                guard.1.clear();
-                guard.1.insert((client, spec), result);
-            }
-            std::cmp::Ordering::Equal => {
-                guard.1.insert((client, spec), result);
-            }
-            std::cmp::Ordering::Less => {}
+        if serial < guard.serial {
+            return;
         }
+        let entry = guard
+            .entries
+            .entry((client, spec))
+            .or_insert((0, result.clone()));
+        if serial >= entry.0 {
+            *entry = (serial, result);
+        }
+    }
+
+    /// Advances the cache to `to_serial`. Entries valid at the *direct
+    /// predecessor* epoch (`to_serial - 1`) for which `affected` returns
+    /// `false` stay valid and are re-stamped to the new serial; everything
+    /// else is dropped. Passing `|_, _| true` reproduces the old
+    /// generation-wide invalidation (used when the incremental engine is
+    /// disabled or the changed region is unbounded).
+    ///
+    /// Requiring the direct predecessor (rather than whatever the cache was
+    /// last advanced to) keeps concurrent publishers sound: `affected` is
+    /// derived from one epoch's delta, so an entry may only ride across
+    /// exactly that epoch boundary. If a racing publisher advanced the cache
+    /// out of order, entries from skipped epochs are dropped instead of
+    /// being carried past a delta that was never checked against them.
+    pub fn advance(&self, to_serial: u64, affected: impl Fn(ClientId, &QuerySpec) -> bool) {
+        if !self.enabled {
+            return;
+        }
+        let mut guard = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if to_serial <= guard.serial {
+            return;
+        }
+        guard.serial = to_serial;
+        let mut carried = 0u64;
+        let mut invalidated = 0u64;
+        guard.entries.retain(|(client, spec), entry| {
+            if entry.0 >= to_serial {
+                // A worker already answered against the new epoch.
+                return true;
+            }
+            if entry.0 + 1 == to_serial && !affected(*client, spec) {
+                entry.0 = to_serial;
+                carried += 1;
+                true
+            } else {
+                invalidated += 1;
+                false
+            }
+        });
+        drop(guard);
+        self.stats.carried.fetch_add(carried, Ordering::Relaxed);
+        self.stats
+            .invalidated
+            .fetch_add(invalidated, Ordering::Relaxed);
     }
 
     /// Hit/miss counters.
@@ -126,10 +199,10 @@ impl ResultCache {
     /// Number of live entries (test/diagnostic aid).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries
+        self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .1
+            .entries
             .len()
     }
 
@@ -167,18 +240,58 @@ mod tests {
     }
 
     #[test]
-    fn epoch_advance_invalidates_previous_generation() {
+    fn advance_invalidates_affected_and_carries_the_rest() {
         let cache = ResultCache::new(true);
+        cache.advance(1, |_, _| true);
         cache.put(1, ClientId(1), QuerySpec::Isolation, result(3));
-        cache.put(2, ClientId(2), QuerySpec::GeoLocation, result(4));
-        // The old generation is gone wholesale.
-        assert!(cache.get(1, ClientId(1), &QuerySpec::Isolation).is_none());
-        assert!(cache.get(2, ClientId(1), &QuerySpec::Isolation).is_none());
+        cache.put(1, ClientId(2), QuerySpec::GeoLocation, result(4));
+        // Only client 1 is affected by the (synthetic) delta.
+        cache.advance(2, |client, _| client == ClientId(1));
+        assert!(
+            cache.get(2, ClientId(1), &QuerySpec::Isolation).is_none(),
+            "affected entry must be recomputed"
+        );
+        assert_eq!(
+            cache.get(2, ClientId(2), &QuerySpec::GeoLocation),
+            Some(result(4)),
+            "unaffected entry rides along to the new serial"
+        );
+        assert!(
+            cache.get(1, ClientId(2), &QuerySpec::GeoLocation).is_none(),
+            "the carried entry answers for the new serial, not the old one"
+        );
+        assert_eq!(cache.stats().carried(), 1);
+        assert_eq!(cache.stats().invalidated(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn generation_wide_invalidation_with_always_affected() {
+        let cache = ResultCache::new(true);
+        cache.advance(1, |_, _| true);
+        cache.put(1, ClientId(1), QuerySpec::Isolation, result(3));
+        cache.advance(2, |_, _| true);
+        assert!(cache.get(2, ClientId(1), &QuerySpec::Isolation).is_none());
+        assert!(cache.is_empty());
         // A straggler result from the evicted epoch is discarded.
         cache.put(1, ClientId(3), QuerySpec::Neutrality, result(5));
         assert!(cache.get(1, ClientId(3), &QuerySpec::Neutrality).is_none());
-        assert_eq!(cache.len(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn racing_put_at_new_serial_survives_advance() {
+        let cache = ResultCache::new(true);
+        cache.advance(1, |_, _| true);
+        // A worker that grabbed epoch 2 before the publisher advanced the
+        // cache writes first...
+        cache.put(2, ClientId(1), QuerySpec::Isolation, result(9));
+        cache.advance(2, |_, _| true);
+        // ...and its (current-epoch) result must not be dropped.
+        assert_eq!(
+            cache.get(2, ClientId(1), &QuerySpec::Isolation),
+            Some(result(9))
+        );
     }
 
     #[test]

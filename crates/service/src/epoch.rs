@@ -2,19 +2,39 @@
 //! monitor's [`NetworkSnapshot`], swapped atomically so query workers never
 //! block the publisher (and vice versa).
 //!
-//! The [`EpochStore`] also retains a bounded history of per-epoch deltas
-//! (added/removed flow-entry digests) so the sync protocol can answer
-//! "what changed since serial S" without shipping full state; when the
-//! requested serial has been evicted the store reports `None` and the sync
-//! layer falls back to a full reset, mirroring RTR cache-reset semantics.
+//! The [`EpochStore`] retains a bounded history of per-epoch deltas. Each
+//! delta carries three views of the same change set:
+//!
+//! * **digest-level** added/removed [`FlowDigest`]s — what the RTR-style
+//!   sync protocol ships to clients;
+//! * **rule-level** added/removed `(switch, entry)` pairs — what the worker
+//!   pool's [`IncrementalModel`]s apply in place instead of rebuilding the
+//!   HSA model from scratch (added rules preserve per-switch arrival order,
+//!   so equal-priority tie-breaking matches a full rebuild);
+//! * the [`ChangedRegion`] — the affected header space computed by a shadow
+//!   incremental model under the publish lock, which the cache and the sync
+//!   server use to re-verify only the standing queries a delta can touch.
+//!
+//! When the requested serial has been evicted the store reports `None` and
+//! the consumers fall back to a full reset / rebuild, mirroring RTR
+//! cache-reset semantics.
+//!
+//! One deliberate approximation: digest-level cancellation across epochs
+//! (add-then-remove collapses to nothing) means a rule removed and later
+//! re-added is kept at its *original* arrival position by incremental
+//! appliers, while a from-scratch rebuild would see it at the table end.
+//! The two orders can only differ observably for *overlapping
+//! equal-priority rules with different actions*, whose relative order is
+//! implementation-defined on real switches to begin with.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, RwLock};
 
-use rvaas::NetworkSnapshot;
+use rvaas::{ChangedRegion, IncrementalModel, NetworkSnapshot, RuleChange};
 use rvaas_client::FlowDigest;
 use rvaas_openflow::FlowEntry;
+use rvaas_topology::Topology;
 use rvaas_types::{SimTime, SwitchId};
 
 /// Computes the digest identifying one installed flow entry.
@@ -53,12 +73,16 @@ pub struct SnapshotEpoch {
     pub snapshot: NetworkSnapshot,
     /// Digest of every installed entry, for delta computation.
     pub digests: BTreeSet<FlowDigest>,
+    /// Digest-indexed entries, so the next publish can resolve removed
+    /// digests back to concrete rules without re-hashing this snapshot.
+    pub rules: BTreeMap<FlowDigest, (SwitchId, FlowEntry)>,
     /// When the epoch was published (simulation time of the last update).
     pub published_at: SimTime,
 }
 
-/// The digest-level difference between two consecutive epochs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The difference between two epochs, at digest, rule and header-space
+/// granularity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochDelta {
     /// Serial this delta starts from.
     pub from_serial: u64,
@@ -68,6 +92,58 @@ pub struct EpochDelta {
     pub added: Vec<FlowDigest>,
     /// Digests present in `from` but not `to`.
     pub removed: Vec<FlowDigest>,
+    /// The added entries, in per-switch arrival order.
+    pub added_rules: Vec<(SwitchId, FlowEntry)>,
+    /// The removed entries (order irrelevant).
+    pub removed_rules: Vec<(SwitchId, FlowEntry)>,
+    /// Affected header region of the change (union over the covered epochs).
+    pub changed: ChangedRegion,
+}
+
+impl EpochDelta {
+    fn empty(serial: u64) -> Self {
+        EpochDelta {
+            from_serial: serial,
+            to_serial: serial,
+            added: Vec::new(),
+            removed: Vec::new(),
+            added_rules: Vec::new(),
+            removed_rules: Vec::new(),
+            changed: ChangedRegion::default(),
+        }
+    }
+
+    /// True when the delta carries no change.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// The delta as an ordered [`RuleChange`] batch: removals first (so a
+    /// modify repairs priorities correctly), then installs in arrival order.
+    /// This is what [`IncrementalModel::apply`] consumes.
+    #[must_use]
+    pub fn rule_changes(&self) -> Vec<RuleChange> {
+        self.removed_rules
+            .iter()
+            .map(|(switch, entry)| RuleChange::removed(*switch, entry.clone()))
+            .chain(
+                self.added_rules
+                    .iter()
+                    .map(|(switch, entry)| RuleChange::installed(*switch, entry.clone())),
+            )
+            .collect()
+    }
+}
+
+/// What one [`EpochStore::publish`] produced: the new serial plus the
+/// affected header region of the change, for targeted invalidation.
+#[derive(Debug, Clone)]
+pub struct Published {
+    /// The serial of the freshly published epoch.
+    pub serial: u64,
+    /// The affected header region relative to the previous epoch.
+    pub changed: ChangedRegion,
 }
 
 /// The atomically swapped epoch store.
@@ -81,6 +157,11 @@ pub struct EpochDelta {
 pub struct EpochStore {
     current: RwLock<Arc<SnapshotEpoch>>,
     deltas: Mutex<VecDeque<EpochDelta>>,
+    /// Shadow incremental model mirroring the published state; computes the
+    /// affected header region of each delta in `O(delta)` under the publish
+    /// lock. Wiring-free (an empty topology): exposed-region computation
+    /// only needs the per-switch rule lists.
+    shadow: Mutex<IncrementalModel>,
     max_deltas: usize,
 }
 
@@ -94,9 +175,11 @@ impl EpochStore {
                 serial: 0,
                 snapshot: NetworkSnapshot::default(),
                 digests: BTreeSet::new(),
+                rules: BTreeMap::new(),
                 published_at: SimTime::ZERO,
             })),
             deltas: Mutex::new(VecDeque::new()),
+            shadow: Mutex::new(IncrementalModel::new(Topology::new())),
             max_deltas,
         }
     }
@@ -112,13 +195,25 @@ impl EpochStore {
     }
 
     /// Freezes `snapshot` as the next epoch and swaps it in, recording the
-    /// delta against the previous epoch. Returns the new serial.
+    /// delta (digests, rules and affected header region) against the
+    /// previous epoch. Returns the new serial and the affected region.
     ///
     /// The write lock is held across the read–diff–swap so concurrent
     /// publishers serialise: each epoch gets a unique serial and a delta
     /// chained to its true predecessor.
-    pub fn publish(&self, snapshot: NetworkSnapshot, at: SimTime) -> u64 {
-        let digests = digest_snapshot(&snapshot);
+    pub fn publish(&self, snapshot: NetworkSnapshot, at: SimTime) -> Published {
+        // One hash pass over the tables, in per-switch arrival order; the
+        // digest index and the (arrival-ordered) added-rule resolution are
+        // both derived from it without re-hashing.
+        let ordered: Vec<(FlowDigest, SwitchId, &FlowEntry)> = snapshot
+            .tables()
+            .flat_map(|(switch, entries)| {
+                entries
+                    .iter()
+                    .map(move |e| (digest_entry(switch, e), switch, e))
+            })
+            .collect();
+        let digests: BTreeSet<FlowDigest> = ordered.iter().map(|(d, _, _)| *d).collect();
         let mut current = self
             .current
             .write()
@@ -126,6 +221,54 @@ impl EpochStore {
         let previous = Arc::clone(&current);
         let added: Vec<FlowDigest> = digests.difference(&previous.digests).copied().collect();
         let removed: Vec<FlowDigest> = previous.digests.difference(&digests).copied().collect();
+        let added_set: BTreeSet<FlowDigest> = added.iter().copied().collect();
+        // Resolve adds in arrival order (delta-sized clones) and removals
+        // from the previous epoch's index.
+        let added_rules: Vec<(SwitchId, FlowEntry)> = ordered
+            .iter()
+            .filter(|(d, _, _)| added_set.contains(d))
+            .map(|(_, switch, e)| (*switch, (*e).clone()))
+            .collect();
+        let removed_rules: Vec<(SwitchId, FlowEntry)> = removed
+            .iter()
+            .filter_map(|d| previous.rules.get(d).cloned())
+            .collect();
+        let rules: BTreeMap<FlowDigest, (SwitchId, FlowEntry)> = ordered
+            .into_iter()
+            .map(|(d, switch, e)| (d, (switch, e.clone())))
+            .collect();
+        let changed = {
+            let mut shadow = self
+                .shadow
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let change_count = added_rules.len() + removed_rules.len();
+            // Past this size the per-rule exposed-region bookkeeping costs
+            // more than it saves (the canonical case is the first, full
+            // publish): bulk-rebuild the shadow and report an unbounded
+            // region, which conservatively re-verifies everything once.
+            if change_count > (rules.len() / 4).max(64) {
+                shadow.rebuild_from(&snapshot);
+                ChangedRegion::everything()
+            } else {
+                let changes: Vec<RuleChange> = removed_rules
+                    .iter()
+                    .map(|(s, e)| RuleChange::removed(*s, e.clone()))
+                    .chain(
+                        added_rules
+                            .iter()
+                            .map(|(s, e)| RuleChange::installed(*s, e.clone())),
+                    )
+                    .collect();
+                let region = shadow.apply(&changes);
+                if shadow.is_desynced() {
+                    // This publish already reports a conservative region;
+                    // resynchronise so future publishes are bounded again.
+                    shadow.rebuild_from(&snapshot);
+                }
+                region
+            }
+        };
         let serial = previous.serial + 1;
         {
             let mut deltas = self
@@ -137,6 +280,9 @@ impl EpochStore {
                 to_serial: serial,
                 added,
                 removed,
+                added_rules,
+                removed_rules,
+                changed: changed.clone(),
             });
             while deltas.len() > self.max_deltas {
                 deltas.pop_front();
@@ -146,9 +292,10 @@ impl EpochStore {
             serial,
             snapshot,
             digests,
+            rules,
             published_at: at,
         });
-        serial
+        Published { serial, changed }
     }
 
     /// The combined delta from `since_serial` to the current serial, or
@@ -157,51 +304,77 @@ impl EpochStore {
     /// an empty delta.
     #[must_use]
     pub fn delta_since(&self, since_serial: u64) -> Option<EpochDelta> {
-        let current = self.current();
-        if since_serial > current.serial {
+        self.delta_between(since_serial, self.current().serial)
+    }
+
+    /// The combined delta covering the window `(from_serial, to_serial]`, or
+    /// `None` when the retained history does not cover it (including
+    /// `from_serial > to_serial` and serials from the future). An equal pair
+    /// returns an empty delta.
+    #[must_use]
+    pub fn delta_between(&self, from_serial: u64, to_serial: u64) -> Option<EpochDelta> {
+        if from_serial > to_serial || to_serial > self.current().serial {
             return None;
         }
-        if since_serial == current.serial {
-            return Some(EpochDelta {
-                from_serial: since_serial,
-                to_serial: since_serial,
-                added: Vec::new(),
-                removed: Vec::new(),
-            });
+        if from_serial == to_serial {
+            return Some(EpochDelta::empty(from_serial));
         }
         let deltas = self
             .deltas
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // The retained window must cover every epoch in (since, current].
+        // The retained window must cover every epoch in (from, to].
         let mut added: BTreeSet<FlowDigest> = BTreeSet::new();
         let mut removed: BTreeSet<FlowDigest> = BTreeSet::new();
-        let mut next_expected = since_serial;
-        for delta in deltas.iter().filter(|d| d.from_serial >= since_serial) {
+        // Rule-level adds keep their arrival order; cancellation filters the
+        // ordered list rather than re-sorting it.
+        let mut added_rules: Vec<(FlowDigest, SwitchId, FlowEntry)> = Vec::new();
+        let mut removed_rules: BTreeMap<FlowDigest, (SwitchId, FlowEntry)> = BTreeMap::new();
+        let mut changed = ChangedRegion::default();
+        let mut next_expected = from_serial;
+        for delta in deltas
+            .iter()
+            .filter(|d| d.from_serial >= from_serial && d.to_serial <= to_serial)
+        {
             if delta.from_serial != next_expected {
                 return None;
             }
             next_expected = delta.to_serial;
-            for d in &delta.added {
+            // The changed region accumulates even across cancelling rule
+            // changes: an add-then-remove pair still perturbed the region in
+            // between, and over-approximating is the safe direction.
+            changed.merge(&delta.changed);
+            for (switch, entry) in &delta.added_rules {
+                let d = digest_entry(*switch, entry);
                 // An add that cancels an earlier remove is a no-op overall.
-                if !removed.remove(d) {
-                    added.insert(*d);
+                if removed.remove(&d) {
+                    removed_rules.remove(&d);
+                } else {
+                    added.insert(d);
+                    added_rules.push((d, *switch, entry.clone()));
                 }
             }
-            for d in &delta.removed {
-                if !added.remove(d) {
-                    removed.insert(*d);
+            for (switch, entry) in &delta.removed_rules {
+                let d = digest_entry(*switch, entry);
+                if added.remove(&d) {
+                    added_rules.retain(|(ad, _, _)| *ad != d);
+                } else {
+                    removed.insert(d);
+                    removed_rules.insert(d, (*switch, entry.clone()));
                 }
             }
         }
-        if next_expected != current.serial {
+        if next_expected != to_serial {
             return None;
         }
         Some(EpochDelta {
-            from_serial: since_serial,
-            to_serial: current.serial,
+            from_serial,
+            to_serial,
             added: added.into_iter().collect(),
             removed: removed.into_iter().collect(),
+            added_rules: added_rules.into_iter().map(|(_, s, e)| (s, e)).collect(),
+            removed_rules: removed_rules.into_values().collect(),
+            changed,
         })
     }
 }
@@ -240,19 +413,33 @@ mod tests {
     fn publish_advances_serial_and_records_delta() {
         let store = EpochStore::new(8);
         assert_eq!(store.current().serial, 0);
-        let s1 = store.publish(snapshot_with(&[1, 2]), SimTime::from_millis(1));
-        assert_eq!(s1, 1);
-        let s2 = store.publish(snapshot_with(&[2, 3]), SimTime::from_millis(2));
-        assert_eq!(s2, 2);
+        let p1 = store.publish(snapshot_with(&[1, 2]), SimTime::from_millis(1));
+        assert_eq!(p1.serial, 1);
+        assert!(!p1.changed.is_empty());
+        let p2 = store.publish(snapshot_with(&[2, 3]), SimTime::from_millis(2));
+        assert_eq!(p2.serial, 2);
         assert_eq!(store.current().serial, 2);
 
         let delta = store.delta_since(1).expect("retained");
         assert_eq!(delta.to_serial, 2);
         assert_eq!(delta.added.len(), 1, "rule for dst 3 added");
         assert_eq!(delta.removed.len(), 1, "rule for dst 1 removed");
+        // Rule-level views mirror the digest-level ones.
+        assert_eq!(delta.added_rules.len(), 1);
+        assert_eq!(delta.removed_rules.len(), 1);
+        assert_eq!(delta.added_rules[0].1.flow_match, FlowMatch::to_ip(3));
+        assert_eq!(delta.removed_rules[0].1.flow_match, FlowMatch::to_ip(1));
+        let changes = delta.rule_changes();
+        assert_eq!(changes.len(), 2);
+        assert!(!changes[0].installed, "removals come first");
+        assert!(changes[1].installed);
+        // The affected region covers both changed destinations.
+        assert!(!delta.changed.is_empty());
+        assert!(delta.changed.switches.contains(&SwitchId(1)));
 
         let empty = store.delta_since(2).expect("current serial");
-        assert!(empty.added.is_empty() && empty.removed.is_empty());
+        assert!(empty.is_empty());
+        assert!(empty.changed.is_empty());
     }
 
     #[test]
@@ -265,6 +452,27 @@ mod tests {
         let delta = store.delta_since(1).expect("retained");
         assert!(delta.added.is_empty());
         assert!(delta.removed.is_empty());
+        assert!(delta.added_rules.is_empty());
+        assert!(delta.removed_rules.is_empty());
+        // ...but the affected region still records that the rule flapped.
+        assert!(!delta.changed.is_empty());
+    }
+
+    #[test]
+    fn delta_between_covers_inner_windows() {
+        let store = EpochStore::new(8);
+        for i in 1..=4u32 {
+            let dsts: Vec<u32> = (1..=i).collect();
+            store.publish(snapshot_with(&dsts), SimTime::from_millis(u64::from(i)));
+        }
+        let delta = store.delta_between(1, 3).expect("retained window");
+        assert_eq!(delta.from_serial, 1);
+        assert_eq!(delta.to_serial, 3);
+        assert_eq!(delta.added.len(), 2, "dst 2 and 3 added");
+        assert!(delta.removed.is_empty());
+        assert!(store.delta_between(3, 1).is_none(), "backwards window");
+        assert!(store.delta_between(1, 99).is_none(), "future serial");
+        assert!(store.delta_between(2, 2).expect("empty").is_empty());
     }
 
     #[test]

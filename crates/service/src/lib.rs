@@ -7,15 +7,20 @@
 //! * [`epoch`] — the monitor's [`rvaas::NetworkSnapshot`] is frozen into
 //!   immutable, serially numbered [`epoch::SnapshotEpoch`]s and swapped
 //!   atomically; readers never block the publisher, and monitor churn keeps
-//!   publishing while queries run against the previous epoch.
+//!   publishing while queries run against the previous epoch. Every delta is
+//!   retained at digest, rule and *changed-header-region* granularity.
 //! * [`pool`] — a [`pool::VerificationService`] shards queries across OS
-//!   worker threads by client, batches co-queued queries through one
-//!   [`rvaas::QueryEvaluator`] (one HSA build + shared per-host traversals
-//!   per batch), and caches results per `(epoch serial, client, query)`.
+//!   worker threads by client and batches co-queued queries through one
+//!   [`rvaas::QueryEvaluator`]. Each worker owns a long-lived
+//!   [`rvaas::IncrementalModel`] advanced by epoch deltas in place
+//!   (`O(delta)` per epoch instead of an `O(network)` rebuild), and the
+//!   `(client, query)` result cache carries entries a delta provably cannot
+//!   affect across epoch advances.
 //! * [`sync`] — an RTR-style session/serial delta protocol: clients mirror
 //!   the published digest set and receive only what changed since their
-//!   serial (plus re-verified standing queries), falling back to a full
-//!   reset when the delta history has been evicted.
+//!   serial, plus re-verified standing queries — only those whose interest
+//!   space intersects the delta's affected header region — falling back to
+//!   a full reset when the delta history has been evicted.
 //! * [`backend`] — [`backend::ServiceBackend`] plugs the service plane into
 //!   the existing `RvaasController` via [`rvaas::AnalysisBackend`].
 //!
@@ -48,6 +53,6 @@ pub mod sync;
 
 pub use backend::ServiceBackend;
 pub use cache::{CacheStats, ResultCache};
-pub use epoch::{digest_entry, digest_snapshot, EpochDelta, EpochStore, SnapshotEpoch};
+pub use epoch::{digest_entry, digest_snapshot, EpochDelta, EpochStore, Published, SnapshotEpoch};
 pub use pool::{QueryResponse, QueryTicket, ServiceConfig, ServiceStats, VerificationService};
-pub use sync::SyncServer;
+pub use sync::{ReverifyStats, SyncServer};

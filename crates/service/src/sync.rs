@@ -3,13 +3,22 @@
 //! Each [`SyncServer`] speaks for one epoch store under a random-ish session
 //! id (clients detect a restarted server by the id changing and fall back to
 //! a reset). Clients register *standing queries*; when a delta invalidates
-//! the published state, the server re-verifies those queries at the new
+//! the published state, the server re-verifies the affected ones at the new
 //! epoch — through the worker pool and its cache — and ships the refreshed
 //! results inside the delta, so clients do not need a follow-up query round.
+//!
+//! "Affected" reuses the incremental engine's changed-header-region
+//! computation ([`rvaas::query_affected`]): a standing query whose interest
+//! space misses the delta's affected region provably kept its verdict, so
+//! the server skips it instead of re-verifying the whole subscription set on
+//! every delta. With the incremental engine disabled the server reverts to
+//! re-verifying everything (the full-recomputation baseline).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use rvaas::{query_affected, ChangedRegion};
 use rvaas_client::QuerySpec;
 use rvaas_client::{ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse};
 use rvaas_types::ClientId;
@@ -24,12 +33,29 @@ struct ClientSession {
     subscriptions: BTreeSet<QuerySpec>,
 }
 
+/// Standing-query reverification counters.
+#[derive(Debug, Default)]
+struct ReverifyCounters {
+    reverified: AtomicU64,
+    skipped: AtomicU64,
+}
+
+/// A point-in-time copy of the reverification counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReverifyStats {
+    /// Standing queries re-verified inside deltas.
+    pub reverified: u64,
+    /// Standing queries skipped because the delta could not affect them.
+    pub skipped: u64,
+}
+
 /// Answers [`SyncRequest`]s from the epoch store.
 #[derive(Debug)]
 pub struct SyncServer {
     store: Arc<EpochStore>,
     session_id: u16,
     sessions: Mutex<BTreeMap<ClientId, ClientSession>>,
+    counters: ReverifyCounters,
 }
 
 impl SyncServer {
@@ -41,6 +67,16 @@ impl SyncServer {
             store,
             session_id: session_id.max(1),
             sessions: Mutex::new(BTreeMap::new()),
+            counters: ReverifyCounters::default(),
+        }
+    }
+
+    /// Standing-query reverification activity so far.
+    #[must_use]
+    pub fn reverify_stats(&self) -> ReverifyStats {
+        ReverifyStats {
+            reverified: self.counters.reverified.load(Ordering::Relaxed),
+            skipped: self.counters.skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -83,13 +119,13 @@ impl SyncServer {
                     full: current.digests.iter().copied().collect(),
                 },
             },
-            Some(delta) if delta.added.is_empty() && delta.removed.is_empty() => SyncResponse {
+            Some(delta) if delta.is_empty() => SyncResponse {
                 session: self.session_id,
                 serial: current.serial,
                 payload: SyncPayload::Unchanged,
             },
             Some(delta) => {
-                let reverified = self.reverify(service, request.client);
+                let reverified = self.reverify(service, request.client, &delta.changed);
                 SyncResponse {
                     session: self.session_id,
                     serial: delta.to_serial,
@@ -103,7 +139,12 @@ impl SyncServer {
         }
     }
 
-    fn reverify(&self, service: &VerificationService, client: ClientId) -> Vec<ReverifiedQuery> {
+    fn reverify(
+        &self,
+        service: &VerificationService,
+        client: ClientId,
+        changed: &ChangedRegion,
+    ) -> Vec<ReverifiedQuery> {
         let specs: Vec<QuerySpec> = {
             let sessions = self
                 .sessions
@@ -114,11 +155,27 @@ impl SyncServer {
                 .map(|s| s.subscriptions.iter().cloned().collect())
                 .unwrap_or_default()
         };
+        // The affected-set computation: only standing queries whose interest
+        // space intersects the delta's changed header region can have a new
+        // verdict. The rest are skipped entirely (not even a cache lookup).
+        let total = specs.len() as u64;
+        let workload: Vec<(ClientId, QuerySpec)> = specs
+            .into_iter()
+            .filter(|spec| {
+                !service.incremental_enabled()
+                    || query_affected(service.topology(), client, spec, changed)
+            })
+            .map(|spec| (client, spec))
+            .collect();
+        self.counters
+            .reverified
+            .fetch_add(workload.len() as u64, Ordering::Relaxed);
+        self.counters
+            .skipped
+            .fetch_add(total - workload.len() as u64, Ordering::Relaxed);
         // Submit everything before waiting so the worker answers the whole
         // subscription set as one batch (shared evaluator), instead of one
         // blocking round-trip per standing query.
-        let workload: Vec<(ClientId, QuerySpec)> =
-            specs.into_iter().map(|spec| (client, spec)).collect();
         service
             .query_all(&workload)
             .into_iter()
@@ -255,6 +312,61 @@ mod tests {
             reverified[0].result,
             QueryResult::IsolationStatus { .. }
         ));
+    }
+
+    #[test]
+    fn unaffected_standing_queries_are_skipped() {
+        let (service, server, mut snapshot) = setup(16);
+        assert!(service.incremental_enabled());
+        // line(4,2): client 1 owns hosts 1 and 3, client 2 owns 2 and 4.
+        let c1_ips: Vec<u32> = service
+            .topology()
+            .hosts_of_client(ClientId(1))
+            .iter()
+            .map(|h| h.ip)
+            .collect();
+        server.subscribe(ClientId(1), QuerySpec::Isolation);
+        server.subscribe(ClientId(2), QuerySpec::Isolation);
+        let mut session1 = SyncSession::new();
+        let mut session2 = SyncSession::new();
+        session1
+            .apply(&server.handle(&service, &session1.request(ClientId(1))))
+            .unwrap();
+        session2
+            .apply(&server.handle(&service, &session2.request(ClientId(2))))
+            .unwrap();
+
+        // Churn pinned to client 1's own (src, dst) pair: client 2's
+        // isolation verdict provably cannot change.
+        snapshot.record_installed(
+            SwitchId(2),
+            FlowEntry::new(
+                400,
+                FlowMatch::from_ip(c1_ips[0])
+                    .field(rvaas_types::Field::IpDst, u64::from(c1_ips[1])),
+                vec![Action::Drop],
+            ),
+            SimTime::from_millis(20),
+        );
+        service.publish(&snapshot, SimTime::from_millis(20));
+
+        let response1 = server.handle(&service, &session1.request(ClientId(1)));
+        let SyncPayload::Delta { reverified, .. } = &response1.payload else {
+            panic!("expected a delta for client 1, got {response1:?}");
+        };
+        assert_eq!(reverified.len(), 1, "client 1's own traffic changed");
+
+        let response2 = server.handle(&service, &session2.request(ClientId(2)));
+        let SyncPayload::Delta { reverified, .. } = &response2.payload else {
+            panic!("expected a delta for client 2, got {response2:?}");
+        };
+        assert!(
+            reverified.is_empty(),
+            "client 2 must be skipped, got {reverified:?}"
+        );
+        let stats = server.reverify_stats();
+        assert_eq!(stats.reverified, 1);
+        assert_eq!(stats.skipped, 1);
     }
 
     #[test]

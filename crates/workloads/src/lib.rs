@@ -15,15 +15,21 @@
 //!
 //! The [`service_load`] module drives the `rvaas-service` worker pool with
 //! a many-client query workload under epoch churn — the service-plane
-//! counterpart of the in-band scenario.
+//! counterpart of the in-band scenario — and the [`churn`] module adds the
+//! tenant-pinned churn workload plus the epoch-advance measurement driver
+//! behind the incremental-verification experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod locations;
 pub mod scenario;
 pub mod service_load;
 
+pub use churn::{
+    run_incremental_churn, tenant_churn_round, IncrementalChurnConfig, IncrementalChurnReport,
+};
 pub use locations::{crowd_sourced_map, inferred_map};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};
 pub use service_load::{
