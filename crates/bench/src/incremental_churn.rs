@@ -134,7 +134,7 @@ impl IncrementalChurnExperiment {
                         "{{\"churn_clients\":{},\"churn_fraction\":{:.4},",
                         "\"rule_changes\":{},",
                         "\"full\":{{\"epoch_advance_avg_us\":{},\"reverified\":{},\"skipped\":{},\"model_rebuilds\":{}}},",
-                        "\"incremental\":{{\"epoch_advance_avg_us\":{},\"reverified\":{},\"skipped\":{},\"incremental_applies\":{},\"model_rebuilds\":{},\"cache_hit_rate\":{:.4}}},",
+                        "\"incremental\":{{\"epoch_advance_avg_us\":{},\"reverified\":{},\"skipped\":{},\"incremental_applies\":{},\"model_rebuilds\":{},\"cache_hit_rate\":{:.4},\"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_p99_us\":{}}},",
                         "\"speedup\":{:.3}}}",
                     ),
                     p.churn_clients,
@@ -150,6 +150,9 @@ impl IncrementalChurnExperiment {
                     p.incremental.incremental_applies,
                     p.incremental.model_rebuilds,
                     p.incremental.cache_hit_rate,
+                    p.incremental.latency_p50_us,
+                    p.incremental.latency_p95_us,
+                    p.incremental.latency_p99_us,
                     p.speedup(),
                 )
             })

@@ -217,15 +217,16 @@ impl ServiceThroughputReport {
                 "workload: {} | clients={} | queries={} | host_cores={}",
                 self.topology, self.clients, self.queries, self.host_cores
             ),
-            "config | qps | p50_us | p99_us | speedup_vs_inline".to_string(),
-            format!("inline(seed) | {:.0} | - | - | 1.00", self.inline_qps),
+            "config | qps | p50_us | p95_us | p99_us | speedup_vs_inline".to_string(),
+            format!("inline(seed) | {:.0} | - | - | - | 1.00", self.inline_qps),
         ];
         for point in &self.pool {
             rows.push(format!(
-                "pool({}w) | {:.0} | {} | {} | {:.2}",
+                "pool({}w) | {:.0} | {} | {} | {} | {:.2}",
                 point.workers,
                 point.report.queries_per_sec,
                 point.report.p50_latency.as_micros(),
+                point.report.p95_latency.as_micros(),
                 point.report.p99_latency.as_micros(),
                 point.report.queries_per_sec / self.inline_qps.max(1e-9),
             ));
@@ -258,10 +259,13 @@ impl ServiceThroughputReport {
             .iter()
             .map(|p| {
                 format!(
-                    "{{\"workers\":{},\"qps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"batches\":{}}}",
+                    "{{\"workers\":{},\"qps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_p99_us\":{},\"batches\":{}}}",
                     p.workers,
                     p.report.queries_per_sec,
                     p.report.p50_latency.as_micros(),
+                    p.report.p99_latency.as_micros(),
+                    p.report.p50_latency.as_micros(),
+                    p.report.p95_latency.as_micros(),
                     p.report.p99_latency.as_micros(),
                     p.report.batches,
                 )

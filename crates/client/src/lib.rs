@@ -35,5 +35,6 @@ pub use protocol::{
     QueryResult, QuerySpec, AUTH_PORT, QUERY_PORT, RVAAS_SERVICE_IP,
 };
 pub use sync::{
-    FlowDigest, ReverifiedQuery, SyncError, SyncPayload, SyncRequest, SyncResponse, SyncSession,
+    FlowDigest, ReverifiedQuery, SyncClientStats, SyncError, SyncPayload, SyncRequest,
+    SyncResponse, SyncSession,
 };

@@ -242,6 +242,59 @@ impl std::fmt::Display for SyncError {
     }
 }
 
+/// A point-in-time copy of a [`SyncSession`]'s protocol counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncClientStats {
+    /// Payload bytes received (deltas + resets + unchanged).
+    pub bytes_received: u64,
+    /// Delta payloads successfully applied.
+    pub deltas_applied: u64,
+    /// Reset payloads applied (full state transfers).
+    pub resets_applied: u64,
+    /// "Unchanged" answers received.
+    pub unchanged: u64,
+    /// Re-verified standing-query results received inside deltas.
+    pub reverified_received: u64,
+}
+
+/// Shared-registry counters mirrored by a [`SyncSession`] once
+/// [`SyncSession::attach_telemetry`] has been called.
+#[derive(Debug, Clone)]
+struct SyncTelemetry {
+    bytes: std::sync::Arc<rvaas_telemetry::Counter>,
+    deltas: std::sync::Arc<rvaas_telemetry::Counter>,
+    resets: std::sync::Arc<rvaas_telemetry::Counter>,
+    unchanged: std::sync::Arc<rvaas_telemetry::Counter>,
+    reverified: std::sync::Arc<rvaas_telemetry::Counter>,
+}
+
+impl SyncTelemetry {
+    fn new(registry: &rvaas_telemetry::Registry) -> Self {
+        SyncTelemetry {
+            bytes: registry.counter(
+                "rvaas_sync_bytes_total",
+                "Sync payload bytes received by clients (deltas + resets + unchanged).",
+            ),
+            deltas: registry.counter(
+                "rvaas_sync_deltas_total",
+                "Delta sync payloads successfully applied by clients.",
+            ),
+            resets: registry.counter(
+                "rvaas_sync_resets_total",
+                "Reset (full state) sync payloads applied by clients.",
+            ),
+            unchanged: registry.counter(
+                "rvaas_sync_unchanged_total",
+                "\"Unchanged\" sync answers received by clients.",
+            ),
+            reverified: registry.counter(
+                "rvaas_sync_reverified_total",
+                "Re-verified standing-query results received inside sync deltas.",
+            ),
+        }
+    }
+}
+
 /// Client-side sync state: the digest set and serial the client currently
 /// mirrors, advanced by applying [`SyncResponse`]s.
 #[derive(Debug, Clone, Default)]
@@ -250,9 +303,8 @@ pub struct SyncSession {
     serial: u64,
     digests: BTreeSet<FlowDigest>,
     synchronised: bool,
-    /// Running total of payload bytes received (deltas + resets), for
-    /// bandwidth accounting.
-    bytes_received: u64,
+    stats: SyncClientStats,
+    telemetry: Option<SyncTelemetry>,
 }
 
 impl SyncSession {
@@ -293,7 +345,25 @@ impl SyncSession {
     /// Total payload bytes received so far.
     #[must_use]
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received
+        self.stats.bytes_received
+    }
+
+    /// A point-in-time copy of the session's protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> SyncClientStats {
+        self.stats
+    }
+
+    /// Mirrors the session's counters into `registry` (under
+    /// `rvaas_sync_*_total`), back-filling whatever was counted so far.
+    pub fn attach_telemetry(&mut self, registry: &rvaas_telemetry::Registry) {
+        let t = SyncTelemetry::new(registry);
+        t.bytes.add(self.stats.bytes_received);
+        t.deltas.add(self.stats.deltas_applied);
+        t.resets.add(self.stats.resets_applied);
+        t.unchanged.add(self.stats.unchanged);
+        t.reverified.add(self.stats.reverified_received);
+        self.telemetry = Some(t);
     }
 
     /// Applies a response, advancing the mirrored state.
@@ -304,7 +374,11 @@ impl SyncSession {
     /// mismatch, removal of an unknown digest, delta before any reset); the
     /// caller should drop its state and re-request from serial 0.
     pub fn apply(&mut self, response: &SyncResponse) -> std::result::Result<(), SyncError> {
-        self.bytes_received += response.encoded_len() as u64;
+        let bytes = response.encoded_len() as u64;
+        self.stats.bytes_received += bytes;
+        if let Some(t) = &self.telemetry {
+            t.bytes.add(bytes);
+        }
         match &response.payload {
             SyncPayload::Unchanged => {
                 if self.synchronised && response.session != self.session {
@@ -321,9 +395,17 @@ impl SyncSession {
                 if self.synchronised {
                     self.serial = self.serial.max(response.serial);
                 }
+                self.stats.unchanged += 1;
+                if let Some(t) = &self.telemetry {
+                    t.unchanged.inc();
+                }
                 Ok(())
             }
-            SyncPayload::Delta { added, removed, .. } => {
+            SyncPayload::Delta {
+                added,
+                removed,
+                reverified,
+            } => {
                 if !self.synchronised {
                     return Err(SyncError::DeltaWithoutState);
                 }
@@ -342,6 +424,12 @@ impl SyncSession {
                     self.digests.insert(*d);
                 }
                 self.serial = response.serial;
+                self.stats.deltas_applied += 1;
+                self.stats.reverified_received += reverified.len() as u64;
+                if let Some(t) = &self.telemetry {
+                    t.deltas.inc();
+                    t.reverified.add(reverified.len() as u64);
+                }
                 Ok(())
             }
             SyncPayload::Reset { full } => {
@@ -349,15 +437,21 @@ impl SyncSession {
                 self.serial = response.serial;
                 self.digests = full.iter().copied().collect();
                 self.synchronised = true;
+                self.stats.resets_applied += 1;
+                if let Some(t) = &self.telemetry {
+                    t.resets.inc();
+                }
                 Ok(())
             }
         }
     }
 
-    /// Drops all mirrored state (after an unrecoverable [`SyncError`]).
+    /// Drops all mirrored state (after an unrecoverable [`SyncError`]). The
+    /// protocol counters and any attached telemetry survive the reset.
     pub fn desynchronise(&mut self) {
         *self = SyncSession {
-            bytes_received: self.bytes_received,
+            stats: self.stats,
+            telemetry: self.telemetry.clone(),
             ..SyncSession::default()
         };
     }

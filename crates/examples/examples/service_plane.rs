@@ -1,9 +1,11 @@
 //! End-to-end tour of the `rvaas-service` verification service plane:
 //!
 //! 1. a full simulated scenario whose RVaaS controller delegates analysis
-//!    to the worker-pool backend (`ScenarioBuilder::service_backend`), and
+//!    to the worker-pool backend (`ScenarioBuilder::service_backend`),
 //! 2. the service used directly — epoch publishing under churn, batched
-//!    queries, the result cache, and RTR-style delta sync.
+//!    queries, the result cache, and RTR-style delta sync, and
+//! 3. the telemetry registry behind it all, rendered in Prometheus text
+//!    exposition format (what a `/metrics` endpoint would serve).
 //!
 //! ```sh
 //! cargo run --release -p rvaas-examples --example service_plane
@@ -108,4 +110,45 @@ fn main() {
         "  sync: client mirror converged at serial {}",
         session.serial()
     );
+
+    // --- 3. The metrics registry, scraped -------------------------------
+    // Everything above — queries, cache traffic, epoch publishes, worker
+    // batches — was recorded into the service's shared registry as it
+    // happened; render it exactly as a `/metrics` endpoint would.
+    let exposition = service.registry().render_text();
+    let samples = rvaas_telemetry::parse_text(&exposition)
+        .expect("rendered exposition must be valid Prometheus text format");
+    let total = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    };
+    // The run above must have left visible traces in the core counters; a
+    // zero here means an instrumentation path silently rotted.
+    for counter in [
+        "rvaas_queries_total",
+        "rvaas_cache_hits_total",
+        "rvaas_epoch_publishes_total",
+    ] {
+        assert!(
+            total(counter) > 0.0,
+            "expected {counter} > 0 after the tour, got 0 — exposition:\n{exposition}"
+        );
+    }
+    println!(
+        "\nmetrics: {} samples across {} lines of exposition; excerpt:",
+        samples.len(),
+        exposition.lines().count()
+    );
+    for line in exposition.lines().filter(|l| {
+        l.starts_with("rvaas_queries_total")
+            || l.starts_with("rvaas_cache_hits_total")
+            || l.starts_with("rvaas_epoch_publishes_total")
+            || l.starts_with("rvaas_query_latency_us_count")
+            || l.starts_with("rvaas_query_latency_us_sum")
+    }) {
+        println!("  {line}");
+    }
 }

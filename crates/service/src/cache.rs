@@ -12,52 +12,57 @@
 //! ones are invalidated.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rvaas_client::{QueryResult, QuerySpec};
+use rvaas_telemetry::{Counter, Registry};
 use rvaas_types::ClientId;
 
-/// Cache activity counters (monotonic, lock-free).
-#[derive(Debug, Default)]
+/// A point-in-time copy of the cache counters — a thin snapshot view over
+/// the shared metric registry (`rvaas_cache_*_total`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    carried: AtomicU64,
-    invalidated: AtomicU64,
+    /// Cache hits so far.
+    pub hits: u64,
+    /// Cache misses so far.
+    pub misses: u64,
+    /// Entries carried forward across epoch advances (still valid because
+    /// the delta could not affect them).
+    pub carried: u64,
+    /// Entries invalidated by epoch advances.
+    pub invalidated: u64,
 }
 
 impl CacheStats {
     /// Cache hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits
     }
 
     /// Cache misses so far.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses
     }
 
-    /// Entries carried forward across epoch advances (still valid because
-    /// the delta could not affect them).
+    /// Entries carried forward across epoch advances.
     #[must_use]
     pub fn carried(&self) -> u64 {
-        self.carried.load(Ordering::Relaxed)
+        self.carried
     }
 
     /// Entries invalidated by epoch advances.
     #[must_use]
     pub fn invalidated(&self) -> u64 {
-        self.invalidated.load(Ordering::Relaxed)
+        self.invalidated
     }
 
     /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.hits() as f64;
-        let total = hits + self.misses() as f64;
+        let hits = self.hits as f64;
+        let total = hits + self.misses as f64;
         if total == 0.0 {
             0.0
         } else {
@@ -78,19 +83,39 @@ struct CacheState {
 #[derive(Debug)]
 pub struct ResultCache {
     state: Mutex<CacheState>,
-    stats: CacheStats,
     enabled: bool,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    carried: Arc<Counter>,
+    invalidated: Arc<Counter>,
 }
 
 impl ResultCache {
-    /// An empty cache; `enabled = false` turns every lookup into a miss
-    /// (used by benchmarks isolating raw verification throughput).
+    /// An empty cache counting into its own private registry; `enabled =
+    /// false` turns every lookup into a miss (used by benchmarks isolating
+    /// raw verification throughput).
     #[must_use]
     pub fn new(enabled: bool) -> Self {
+        ResultCache::with_registry(enabled, &Registry::new())
+    }
+
+    /// An empty cache whose counters live in the shared `registry` (under
+    /// `rvaas_cache_hits_total` / `_misses_` / `_carried_` / `_invalidated_`).
+    #[must_use]
+    pub fn with_registry(enabled: bool, registry: &Registry) -> Self {
         ResultCache {
             state: Mutex::new(CacheState::default()),
-            stats: CacheStats::default(),
             enabled,
+            hits: registry.counter("rvaas_cache_hits_total", "Result-cache hits."),
+            misses: registry.counter("rvaas_cache_misses_total", "Result-cache misses."),
+            carried: registry.counter(
+                "rvaas_cache_carried_total",
+                "Cache entries carried across epoch advances (provably unaffected by the delta).",
+            ),
+            invalidated: registry.counter(
+                "rvaas_cache_invalidated_total",
+                "Cache entries invalidated by epoch advances.",
+            ),
         }
     }
 
@@ -98,7 +123,7 @@ impl ResultCache {
     #[must_use]
     pub fn get(&self, serial: u64, client: ClientId, spec: &QuerySpec) -> Option<QueryResult> {
         if !self.enabled {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let guard = self
@@ -112,9 +137,9 @@ impl ResultCache {
             .map(|(_, result)| result.clone());
         drop(guard);
         if result.is_some() {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
         result
     }
@@ -184,16 +209,19 @@ impl ResultCache {
             }
         });
         drop(guard);
-        self.stats.carried.fetch_add(carried, Ordering::Relaxed);
-        self.stats
-            .invalidated
-            .fetch_add(invalidated, Ordering::Relaxed);
+        self.carried.add(carried);
+        self.invalidated.add(invalidated);
     }
 
-    /// Hit/miss counters.
+    /// A point-in-time copy of the hit/miss counters.
     #[must_use]
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            carried: self.carried.get(),
+            invalidated: self.invalidated.get(),
+        }
     }
 
     /// Number of live entries (test/diagnostic aid).

@@ -144,6 +144,12 @@ pub struct Published {
     pub serial: u64,
     /// The affected header region relative to the previous epoch.
     pub changed: ChangedRegion,
+    /// Rule-level size of the delta (added + removed entries).
+    pub delta_rules: usize,
+    /// Whether the shadow model took the bulk-rebuild path (delta too large
+    /// for per-rule region tracking to pay off), reporting an unbounded
+    /// changed region.
+    pub bulk_rebuild: bool,
 }
 
 /// The atomically swapped epoch store.
@@ -182,6 +188,15 @@ impl EpochStore {
             shadow: Mutex::new(IncrementalModel::new(Topology::new())),
             max_deltas,
         }
+    }
+
+    /// Mirrors the shadow incremental model's activity into `registry`
+    /// (under `rvaas_incremental_*_total`).
+    pub fn attach_shadow_telemetry(&self, registry: &rvaas_telemetry::Registry) {
+        self.shadow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .attach_telemetry(registry);
     }
 
     /// The current epoch. Never blocks the publisher for longer than the
@@ -237,17 +252,18 @@ impl EpochStore {
             .into_iter()
             .map(|(d, switch, e)| (d, (switch, e.clone())))
             .collect();
+        let change_count = added_rules.len() + removed_rules.len();
+        // Past this size the per-rule exposed-region bookkeeping costs
+        // more than it saves (the canonical case is the first, full
+        // publish): bulk-rebuild the shadow and report an unbounded
+        // region, which conservatively re-verifies everything once.
+        let bulk_rebuild = change_count > (rules.len() / 4).max(64);
         let changed = {
             let mut shadow = self
                 .shadow
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let change_count = added_rules.len() + removed_rules.len();
-            // Past this size the per-rule exposed-region bookkeeping costs
-            // more than it saves (the canonical case is the first, full
-            // publish): bulk-rebuild the shadow and report an unbounded
-            // region, which conservatively re-verifies everything once.
-            if change_count > (rules.len() / 4).max(64) {
+            if bulk_rebuild {
                 shadow.rebuild_from(&snapshot);
                 ChangedRegion::everything()
             } else {
@@ -295,7 +311,12 @@ impl EpochStore {
             rules,
             published_at: at,
         });
-        Published { serial, changed }
+        Published {
+            serial,
+            changed,
+            delta_rules: change_count,
+            bulk_rebuild,
+        }
     }
 
     /// The combined delta from `since_serial` to the current serial, or

@@ -18,13 +18,13 @@
 //! batch started; the monitor can keep publishing new epochs concurrently
 //! without blocking them (see [`crate::epoch::EpochStore`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rvaas::{query_affected, IncrementalModel, LogicalVerifier, NetworkSnapshot, VerifierConfig};
 use rvaas_client::{QueryResult, QuerySpec};
+use rvaas_telemetry::{Counter, Gauge, Histogram, Registry};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, SimTime};
 
@@ -137,19 +137,85 @@ impl QueryTicket {
     }
 }
 
-/// Monotonic activity counters, readable while the service runs.
-#[derive(Debug, Default)]
-struct Counters {
-    queries: AtomicU64,
-    batches: AtomicU64,
-    batched_queries: AtomicU64,
-    epochs_published: AtomicU64,
-    incremental_applies: AtomicU64,
-    model_rebuilds: AtomicU64,
-    delta_rules_applied: AtomicU64,
+/// Handles into the shared metric [`Registry`], fetched once at service
+/// construction so the hot path (worker loops, submit) records through pure
+/// atomics and never touches the registry's mutex.
+struct ServiceMetrics {
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_queries: Arc<Counter>,
+    epochs_published: Arc<Counter>,
+    incremental_applies: Arc<Counter>,
+    model_rebuilds: Arc<Counter>,
+    delta_rules_applied: Arc<Counter>,
+    shadow_bulk_rebuilds: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    epoch_serial: Arc<Gauge>,
+    query_latency: Arc<Histogram>,
+    epoch_delta_rules: Arc<Histogram>,
+    stage_model_sync: Arc<Histogram>,
+    stage_eval: Arc<Histogram>,
+    stage_publish: Arc<Histogram>,
+    stage_cache_advance: Arc<Histogram>,
 }
 
-/// A point-in-time copy of the service counters.
+impl ServiceMetrics {
+    fn new(registry: &Registry) -> Self {
+        ServiceMetrics {
+            queries: registry.counter(
+                "rvaas_queries_total",
+                "Queries answered (cached or computed).",
+            ),
+            batches: registry.counter("rvaas_batches_total", "Batches executed by workers."),
+            batched_queries: registry.counter(
+                "rvaas_batched_queries_total",
+                "Queries answered as part of a batch of two or more.",
+            ),
+            epochs_published: registry.counter(
+                "rvaas_epoch_publishes_total",
+                "Epochs published through the service.",
+            ),
+            incremental_applies: registry.counter(
+                "rvaas_incremental_applies_total",
+                "Worker-model epoch advances served by applying a delta in place.",
+            ),
+            model_rebuilds: registry.counter(
+                "rvaas_model_rebuilds_total",
+                "Worker-model epoch advances that fell back to a full rebuild.",
+            ),
+            delta_rules_applied: registry.counter(
+                "rvaas_delta_rules_applied_total",
+                "Rule-level changes applied across all incremental advances.",
+            ),
+            shadow_bulk_rebuilds: registry.counter(
+                "rvaas_shadow_bulk_rebuilds_total",
+                "Publishes whose shadow model took the bulk-rebuild path (unbounded changed region).",
+            ),
+            queue_depth: registry.gauge(
+                "rvaas_queue_depth",
+                "Queries submitted but not yet answered.",
+            ),
+            workers: registry.gauge("rvaas_workers", "Worker threads in the pool."),
+            epoch_serial: registry.gauge("rvaas_epoch_serial", "Serial of the current epoch."),
+            query_latency: registry.histogram(
+                "rvaas_query_latency_us",
+                "Wall-clock query latency from submission to completion, in microseconds.",
+            ),
+            epoch_delta_rules: registry.histogram(
+                "rvaas_epoch_delta_rules",
+                "Rule-level size (added + removed) of each published epoch delta.",
+            ),
+            stage_model_sync: registry.stage_histogram("pool.model_sync"),
+            stage_eval: registry.stage_histogram("pool.eval"),
+            stage_publish: registry.stage_histogram("epoch.publish"),
+            stage_cache_advance: registry.stage_histogram("cache.advance"),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters — a thin snapshot view over
+/// the shared metric registry.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceStats {
     /// Queries answered (cached or computed).
@@ -179,6 +245,12 @@ pub struct ServiceStats {
     pub cache_hit_rate: f64,
     /// Number of worker threads.
     pub workers: usize,
+    /// Median query latency in microseconds (0 until a query completes).
+    pub latency_p50_us: u64,
+    /// 95th-percentile query latency in microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile query latency in microseconds.
+    pub latency_p99_us: u64,
 }
 
 /// The standalone verification service: epoch store + worker pool + cache.
@@ -187,7 +259,8 @@ pub struct VerificationService {
     incremental: bool,
     store: Arc<EpochStore>,
     cache: Arc<ResultCache>,
-    counters: Arc<Counters>,
+    registry: Arc<Registry>,
+    metrics: Arc<ServiceMetrics>,
     senders: Vec<mpsc::Sender<WorkerMsg>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -203,29 +276,45 @@ impl std::fmt::Debug for VerificationService {
 }
 
 impl VerificationService {
-    /// Starts the service over the trusted `topology`.
+    /// Starts the service over the trusted `topology`, with a fresh metric
+    /// registry of its own.
     #[must_use]
     pub fn new(topology: Topology, config: ServiceConfig) -> Self {
+        VerificationService::with_registry(topology, config, Registry::shared())
+    }
+
+    /// Starts the service recording into the shared `registry` — the one a
+    /// `/metrics` endpoint should render.
+    #[must_use]
+    pub fn with_registry(
+        topology: Topology,
+        config: ServiceConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         let store = Arc::new(EpochStore::new(config.max_delta_history.max(1)));
-        let cache = Arc::new(ResultCache::new(config.cache_enabled));
-        let counters = Arc::new(Counters::default());
+        store.attach_shadow_telemetry(&registry);
+        let cache = Arc::new(ResultCache::with_registry(config.cache_enabled, &registry));
+        let metrics = Arc::new(ServiceMetrics::new(&registry));
         // History-mode verification folds recently *removed* rules into the
         // model; the incremental mirror tracks only installed state, so that
         // mode keeps the rebuild path.
         let incremental = config.incremental && !config.verifier.use_history;
         let worker_count = config.workers.max(1);
+        metrics.workers.set(worker_count as i64);
         let mut senders = Vec::with_capacity(worker_count);
         let mut workers = Vec::with_capacity(worker_count);
         for index in 0..worker_count {
             let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            let mut model = IncrementalModel::new(topology.clone());
+            model.attach_telemetry(&registry);
             let context = WorkerContext {
                 verifier: LogicalVerifier::new(topology.clone(), config.verifier.clone()),
-                model: IncrementalModel::new(topology.clone()),
+                model,
                 model_serial: 0,
                 incremental,
                 store: Arc::clone(&store),
                 cache: Arc::clone(&cache),
-                counters: Arc::clone(&counters),
+                metrics: Arc::clone(&metrics),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("rvaas-verify-{index}"))
@@ -239,7 +328,8 @@ impl VerificationService {
             incremental,
             store,
             cache,
-            counters,
+            registry,
+            metrics,
             senders,
             workers,
         }
@@ -249,6 +339,13 @@ impl VerificationService {
     #[must_use]
     pub fn store(&self) -> Arc<EpochStore> {
         Arc::clone(&self.store)
+    }
+
+    /// The metric registry every layer of this service records into; render
+    /// it with [`Registry::render_text`] to serve `/metrics`.
+    #[must_use]
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// The trusted topology the service verifies against.
@@ -274,10 +371,21 @@ impl VerificationService {
     /// delta cannot affect stay valid (when the incremental engine is on);
     /// the rest are invalidated.
     pub fn publish(&self, snapshot: &NetworkSnapshot, at: SimTime) -> u64 {
-        self.counters
-            .epochs_published
-            .fetch_add(1, Ordering::Relaxed);
-        let published = self.store.publish(snapshot.clone(), at);
+        self.metrics.epochs_published.inc();
+        let published = {
+            let _span = self.metrics.stage_publish.span();
+            self.store.publish(snapshot.clone(), at)
+        };
+        self.metrics
+            .epoch_serial
+            .set(i64::try_from(published.serial).unwrap_or(i64::MAX));
+        self.metrics
+            .epoch_delta_rules
+            .record(published.delta_rules as u64);
+        if published.bulk_rebuild {
+            self.metrics.shadow_bulk_rebuilds.inc();
+        }
+        let _span = self.metrics.stage_cache_advance.span();
         if self.incremental {
             let topology = &self.topology;
             let changed = &published.changed;
@@ -294,6 +402,7 @@ impl VerificationService {
     #[must_use]
     pub fn submit(&self, client: ClientId, spec: QuerySpec) -> QueryTicket {
         let (tx, rx) = mpsc::channel();
+        self.metrics.queue_depth.inc();
         let shard = client.0 as usize % self.senders.len();
         self.senders[shard]
             .send(WorkerMsg::Query(QueryJob {
@@ -327,20 +436,25 @@ impl VerificationService {
     /// A point-in-time copy of the activity counters.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
+        let cache = self.cache.stats();
+        let latency = self.metrics.query_latency.snapshot();
         ServiceStats {
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            batched_queries: self.counters.batched_queries.load(Ordering::Relaxed),
-            epochs_published: self.counters.epochs_published.load(Ordering::Relaxed),
-            incremental_applies: self.counters.incremental_applies.load(Ordering::Relaxed),
-            model_rebuilds: self.counters.model_rebuilds.load(Ordering::Relaxed),
-            delta_rules_applied: self.counters.delta_rules_applied.load(Ordering::Relaxed),
-            cache_hits: self.cache.stats().hits(),
-            cache_misses: self.cache.stats().misses(),
-            cache_carried: self.cache.stats().carried(),
-            cache_invalidated: self.cache.stats().invalidated(),
-            cache_hit_rate: self.cache.stats().hit_rate(),
+            queries: self.metrics.queries.get(),
+            batches: self.metrics.batches.get(),
+            batched_queries: self.metrics.batched_queries.get(),
+            epochs_published: self.metrics.epochs_published.get(),
+            incremental_applies: self.metrics.incremental_applies.get(),
+            model_rebuilds: self.metrics.model_rebuilds.get(),
+            delta_rules_applied: self.metrics.delta_rules_applied.get(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_carried: cache.carried,
+            cache_invalidated: cache.invalidated,
+            cache_hit_rate: cache.hit_rate(),
             workers: self.workers.len(),
+            latency_p50_us: latency.p50(),
+            latency_p95_us: latency.p95(),
+            latency_p99_us: latency.p99(),
         }
     }
 }
@@ -367,7 +481,7 @@ struct WorkerContext {
     incremental: bool,
     store: Arc<EpochStore>,
     cache: Arc<ResultCache>,
-    counters: Arc<Counters>,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl WorkerContext {
@@ -392,25 +506,21 @@ impl WorkerContext {
                     <= epoch.snapshot.rule_count() / 4 =>
             {
                 let changes = delta.rule_changes();
-                self.counters
-                    .delta_rules_applied
-                    .fetch_add(changes.len() as u64, Ordering::Relaxed);
+                self.metrics.delta_rules_applied.add(changes.len() as u64);
                 self.model.apply(&changes);
-                self.counters
-                    .incremental_applies
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.incremental_applies.inc();
                 if self.model.is_desynced() {
                     // A removal did not resolve against the mirror: the
                     // model can no longer be trusted — self-heal from the
                     // frozen epoch instead of answering from a wrong model
                     // forever.
                     self.model.rebuild_from(&epoch.snapshot);
-                    self.counters.model_rebuilds.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.model_rebuilds.inc();
                 }
             }
             _ => {
                 self.model.rebuild_from(&epoch.snapshot);
-                self.counters.model_rebuilds.fetch_add(1, Ordering::Relaxed);
+                self.metrics.model_rebuilds.inc();
             }
         }
         self.model_serial = epoch.serial;
@@ -440,18 +550,21 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
 
         let epoch = ctx.store.current();
         let mut evaluator = if ctx.incremental {
-            ctx.sync_model(&epoch);
+            {
+                let sync_hist = Arc::clone(&ctx.metrics.stage_model_sync);
+                let _span = sync_hist.span();
+                ctx.sync_model(&epoch);
+            }
             ctx.verifier
                 .evaluator_with(&epoch.snapshot, ctx.model.network_function())
         } else {
             ctx.verifier.evaluator(&epoch.snapshot)
         };
-        ctx.counters.batches.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.batches.inc();
         if batch.len() > 1 {
-            ctx.counters
-                .batched_queries
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            ctx.metrics.batched_queries.add(batch.len() as u64);
         }
+        let _eval_span = ctx.metrics.stage_eval.span();
         for job in batch {
             let result = match ctx.cache.get(epoch.serial, job.client, &job.spec) {
                 Some(result) => result,
@@ -462,14 +575,19 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
                     result
                 }
             };
-            ctx.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let latency = job.submitted.elapsed();
+            ctx.metrics
+                .query_latency
+                .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+            ctx.metrics.queries.inc();
+            ctx.metrics.queue_depth.dec();
             // The submitter may have given up waiting; that is not an error.
             let _ = job.reply.send(QueryResponse {
                 client: job.client,
                 spec: job.spec,
                 result,
                 epoch_serial: epoch.serial,
-                latency: job.submitted.elapsed(),
+                latency,
             });
         }
         if shutdown {

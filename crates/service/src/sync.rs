@@ -15,12 +15,12 @@
 //! re-verifying everything (the full-recomputation baseline).
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rvaas::{query_affected, ChangedRegion};
 use rvaas_client::QuerySpec;
 use rvaas_client::{ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse};
+use rvaas_telemetry::{Counter, Histogram, Registry};
 use rvaas_types::ClientId;
 
 use crate::epoch::EpochStore;
@@ -33,15 +33,10 @@ struct ClientSession {
     subscriptions: BTreeSet<QuerySpec>,
 }
 
-/// Standing-query reverification counters.
-#[derive(Debug, Default)]
-struct ReverifyCounters {
-    reverified: AtomicU64,
-    skipped: AtomicU64,
-}
-
-/// A point-in-time copy of the reverification counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A point-in-time copy of the reverification counters — a thin snapshot
+/// view over the shared metric registry (`rvaas_reverified_total` /
+/// `rvaas_reverify_skipped_total`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ReverifyStats {
     /// Standing queries re-verified inside deltas.
     pub reverified: u64,
@@ -55,19 +50,37 @@ pub struct SyncServer {
     store: Arc<EpochStore>,
     session_id: u16,
     sessions: Mutex<BTreeMap<ClientId, ClientSession>>,
-    counters: ReverifyCounters,
+    reverified: Arc<Counter>,
+    skipped: Arc<Counter>,
+    reverify_latency: Arc<Histogram>,
 }
 
 impl SyncServer {
     /// Creates a server over `store` with the given session id (must be
-    /// non-zero: clients use session 0 to mean "no session yet").
+    /// non-zero: clients use session 0 to mean "no session yet"), counting
+    /// into a private registry.
     #[must_use]
     pub fn new(store: Arc<EpochStore>, session_id: u16) -> Self {
+        SyncServer::with_registry(store, session_id, &Registry::new())
+    }
+
+    /// Like [`SyncServer::new`], but counting into the shared `registry`
+    /// (typically the owning service's, so one scrape covers both).
+    #[must_use]
+    pub fn with_registry(store: Arc<EpochStore>, session_id: u16, registry: &Registry) -> Self {
         SyncServer {
             store,
             session_id: session_id.max(1),
             sessions: Mutex::new(BTreeMap::new()),
-            counters: ReverifyCounters::default(),
+            reverified: registry.counter(
+                "rvaas_reverified_total",
+                "Standing queries re-verified inside sync deltas.",
+            ),
+            skipped: registry.counter(
+                "rvaas_reverify_skipped_total",
+                "Standing queries skipped because the delta could not affect them.",
+            ),
+            reverify_latency: registry.stage_histogram("sync.reverify"),
         }
     }
 
@@ -75,8 +88,8 @@ impl SyncServer {
     #[must_use]
     pub fn reverify_stats(&self) -> ReverifyStats {
         ReverifyStats {
-            reverified: self.counters.reverified.load(Ordering::Relaxed),
-            skipped: self.counters.skipped.load(Ordering::Relaxed),
+            reverified: self.reverified.get(),
+            skipped: self.skipped.get(),
         }
     }
 
@@ -145,6 +158,7 @@ impl SyncServer {
         client: ClientId,
         changed: &ChangedRegion,
     ) -> Vec<ReverifiedQuery> {
+        let _span = self.reverify_latency.span();
         let specs: Vec<QuerySpec> = {
             let sessions = self
                 .sessions
@@ -167,12 +181,8 @@ impl SyncServer {
             })
             .map(|spec| (client, spec))
             .collect();
-        self.counters
-            .reverified
-            .fetch_add(workload.len() as u64, Ordering::Relaxed);
-        self.counters
-            .skipped
-            .fetch_add(total - workload.len() as u64, Ordering::Relaxed);
+        self.reverified.add(workload.len() as u64);
+        self.skipped.add(total - workload.len() as u64);
         // Submit everything before waiting so the worker answers the whole
         // subscription set as one batch (shared evaluator), instead of one
         // blocking round-trip per standing query.

@@ -1,0 +1,54 @@
+//! # rvaas-telemetry — the unified observability substrate
+//!
+//! Every layer of the RVaaS service plane used to keep its own ad-hoc stats
+//! struct (`ServiceStats`, `CacheStats`, `ReverifyStats`); this crate
+//! replaces those with one shared, zero-dependency [`Registry`] of named
+//! metrics, built entirely on `std` atomics:
+//!
+//! * [`Counter`] — a monotonic `u64`; `inc`/`add` are single relaxed
+//!   atomic RMWs, safe on any hot path.
+//! * [`Gauge`] — a signed instantaneous value (queue depth, epoch serial).
+//! * [`Histogram`] — log₂-bucketed distribution with a lock-free
+//!   [`record`](Histogram::record), mergeable [`HistogramSnapshot`]s and
+//!   percentile extraction (p50/p90/p99) clamped to the observed min/max.
+//! * [`Span`] — an RAII timer tracing one stage of the query lifecycle
+//!   (`registry.span("pool.eval")` records elapsed microseconds into the
+//!   `rvaas_stage_latency_us{stage="pool.eval"}` histogram on drop).
+//! * [`Registry::render_text`] — Prometheus text exposition (`# HELP` /
+//!   `# TYPE` / sample lines) ready to be served verbatim from a `/metrics`
+//!   endpoint; [`text::parse_text`] is the matching line-level parser the
+//!   tests and the CI format gate use.
+//!
+//! Handles returned by the registry are `Arc`s: look a metric up once at
+//! construction time, then record through the handle — the registry's
+//! internal mutex is only ever taken at registration and render time, never
+//! on the metric hot path.
+//!
+//! ```
+//! use rvaas_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let queries = registry.counter("rvaas_queries_total", "Queries answered.");
+//! let latency = registry.histogram("rvaas_query_latency_us", "Query latency (µs).");
+//! queries.inc();
+//! latency.record(250);
+//! {
+//!     let _span = registry.span("pool.eval"); // records on drop
+//! }
+//! let text = registry.render_text();
+//! assert!(text.contains("rvaas_queries_total 1"));
+//! assert!(text.contains("# TYPE rvaas_query_latency_us histogram"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+pub mod text;
+
+pub use histogram::{Histogram, HistogramSnapshot, Span, BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::{MetricKind, Registry, StageSpan};
+pub use text::{parse_text, render_value, Sample, TextParseError};

@@ -190,6 +190,13 @@ pub struct IncrementalChurnReport {
     pub cache_hit_rate: f64,
     /// Epoch serial after the final round.
     pub final_serial: u64,
+    /// Median per-query latency in microseconds (from the service's
+    /// `rvaas_query_latency_us` histogram; includes reverification queries).
+    pub latency_p50_us: u64,
+    /// 95th-percentile per-query latency in microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile per-query latency in microseconds.
+    pub latency_p99_us: u64,
 }
 
 /// Runs `config.rounds` rounds of tenant churn against a fresh service with
@@ -271,6 +278,9 @@ pub fn run_incremental_churn(
         model_rebuilds: stats.model_rebuilds,
         cache_hit_rate: stats.cache_hit_rate,
         final_serial: service.current_serial(),
+        latency_p50_us: stats.latency_p50_us,
+        latency_p95_us: stats.latency_p95_us,
+        latency_p99_us: stats.latency_p99_us,
     }
 }
 

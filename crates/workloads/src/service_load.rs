@@ -52,8 +52,11 @@ pub struct ServiceLoadReport {
     pub elapsed: Duration,
     /// Answered queries per wall-clock second.
     pub queries_per_sec: f64,
-    /// Median per-query latency.
+    /// Median per-query latency (from the service's shared latency
+    /// histogram, `rvaas_query_latency_us`).
     pub p50_latency: Duration,
+    /// 95th-percentile per-query latency.
+    pub p95_latency: Duration,
     /// 99th-percentile per-query latency.
     pub p99_latency: Duration,
     /// Result-cache hit rate over the whole run.
@@ -102,14 +105,6 @@ pub fn round_robin_workload(topology: &Topology, queries: usize) -> Vec<(ClientI
             )
         })
         .collect()
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Builds the benign snapshot for `topology`.
@@ -167,7 +162,7 @@ pub fn run_service_load(topology: &Topology, config: &ServiceLoadConfig) -> Serv
     service.publish(&snapshot, SimTime::from_millis(1));
 
     let workload = round_robin_workload(topology, config.queries_per_round);
-    let mut latencies: Vec<Duration> = Vec::new();
+    let mut responses = 0usize;
     let started = Instant::now();
     for round in 0..config.rounds {
         if config.churn_rules_per_round > 0 {
@@ -180,19 +175,20 @@ pub fn run_service_load(topology: &Topology, config: &ServiceLoadConfig) -> Serv
             );
             service.publish(&snapshot, at);
         }
-        for response in service.query_all(&workload) {
-            latencies.push(response.latency);
-        }
+        responses += service.query_all(&workload).len();
     }
     let elapsed = started.elapsed();
-    latencies.sort_unstable();
+    // Percentiles come from the service's own latency histogram
+    // (`rvaas_query_latency_us` in the shared registry) — the same numbers a
+    // scrape of the metrics endpoint would report.
     let stats = service.stats();
     ServiceLoadReport {
-        responses: latencies.len(),
+        responses,
         elapsed,
-        queries_per_sec: latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_latency: percentile(&latencies, 0.50),
-        p99_latency: percentile(&latencies, 0.99),
+        queries_per_sec: responses as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_latency: Duration::from_micros(stats.latency_p50_us),
+        p95_latency: Duration::from_micros(stats.latency_p95_us),
+        p99_latency: Duration::from_micros(stats.latency_p99_us),
         cache_hit_rate: stats.cache_hit_rate,
         final_serial: service.current_serial(),
         batches: stats.batches,
