@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use rvaas::{LocationMap, LogicalVerifier, VerifierConfig};
 use rvaas_client::{SyncPayload, SyncResponse, SyncSession};
-use rvaas_service::{ServiceConfig, SyncServer, VerificationService};
+use rvaas_service::{ServiceSettings, SyncServer, VerificationService};
 use rvaas_topology::{generators, Topology};
 use rvaas_types::{ClientId, SimTime};
 use rvaas_workloads::{
@@ -90,7 +90,11 @@ fn measure_inline(topology: &Topology, queries: usize) -> f64 {
 fn measure_sync(topology: &Topology) -> (usize, usize, usize, usize) {
     let service = VerificationService::new(
         topology.clone(),
-        ServiceConfig::new(verifier_config(topology)).with_workers(1),
+        ServiceSettings {
+            workers: 1,
+            ..ServiceSettings::default()
+        }
+        .into_config(verifier_config(topology)),
     );
     let mut snapshot = benign_snapshot(topology);
     // Seed churn round 0 before the client's baseline so the measured round

@@ -229,7 +229,8 @@ impl HostApp for ClientAgent {
             InbandMessage::Query(_)
             | InbandMessage::AuthReply(_)
             | InbandMessage::SyncRequest(_)
-            | InbandMessage::SyncResponse(_) => {}
+            | InbandMessage::SyncResponse(_)
+            | InbandMessage::SyncReject(_) => {}
         }
     }
 }

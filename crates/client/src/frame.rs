@@ -1,0 +1,116 @@
+//! Length-prefixed framing for the served TCP sync endpoint.
+//!
+//! The in-band codec ([`crate::codec`]) produces self-describing payloads
+//! (wire tag + version byte + body), but a TCP stream needs message
+//! boundaries on top. The `rvaas` daemon and its clients frame every payload
+//! as a big-endian `u32` length followed by the payload bytes — the same
+//! shape RTR uses for its PDUs, minus the per-PDU header (ours lives inside
+//! the payload).
+//!
+//! The reader enforces [`MAX_FRAME_LEN`] so a hostile peer cannot make the
+//! server allocate unbounded memory from a four-byte prefix.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload. A full reset for a million-rule
+//  network is ~8 MB of digests; 16 MiB leaves headroom without letting one
+/// connection hold the heap hostage.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame and flushes the stream.
+///
+/// # Errors
+///
+/// Returns an error when `payload` exceeds [`MAX_FRAME_LEN`] or the
+/// underlying writer fails.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean end of stream (the peer closed between
+/// frames). A timeout error (`WouldBlock`/`TimedOut`) before the first
+/// length byte arrives is safe to retry: nothing has been consumed.
+///
+/// # Errors
+///
+/// Returns an error on a mid-frame disconnect, an oversized length prefix,
+/// or any other I/O failure.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no frame" (clean EOF / retryable timeout before any byte)
+    // from "torn frame" (EOF after a partial prefix).
+    let first = r.read(&mut len_buf)?;
+    if first == 0 {
+        return Ok(None);
+    }
+    r.read_exact(&mut len_buf[first..])?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third frame").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"third frame");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF is None");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+
+        // A torn length prefix is also an error.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        let mut sink = Vec::new();
+        let too_big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut sink, &too_big).is_err());
+        assert!(sink.is_empty(), "nothing may be written for a bad frame");
+    }
+}

@@ -18,23 +18,31 @@
 //! * [`agent`] — the [`ClientAgent`] host application: issues queries,
 //!   responds to authentication requests, verifies replies.
 //! * [`sync`] — the RTR-style delta-sync messages and the client-side
-//!   [`SyncSession`] state machine for mirroring service-plane epochs.
+//!   [`SyncSession`] state machine for mirroring service-plane epochs. Every
+//!   sync message carries a protocol version byte
+//!   ([`SYNC_PROTOCOL_VERSION`]); unknown major versions are rejected with a
+//!   typed error and answered with a [`SyncReject`].
+//! * [`frame`] — length-prefixed framing for carrying the sync messages over
+//!   a real TCP stream (the `rvaas` daemon's served endpoint).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agent;
 pub mod codec;
+pub mod frame;
 pub mod protocol;
 pub mod sync;
 
 pub use agent::{ClientAgent, ClientAgentConfig, VerifiedReply};
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
 pub use protocol::{
     auth_reply_packet, auth_request_packet, decode_inband, query_packet, reply_packet, AuthReply,
     AuthRequest, EndpointReport, InbandMessage, NeutralityViolation, QueryReply, QueryRequest,
     QueryResult, QuerySpec, AUTH_PORT, QUERY_PORT, RVAAS_SERVICE_IP,
 };
 pub use sync::{
-    FlowDigest, ReverifiedQuery, SyncClientStats, SyncError, SyncPayload, SyncRequest,
-    SyncResponse, SyncSession,
+    check_sync_version, sync_version_major, FlowDigest, ReverifiedQuery, SyncClientStats,
+    SyncError, SyncPayload, SyncReject, SyncRequest, SyncResponse, SyncSession,
+    SYNC_PROTOCOL_VERSION,
 };

@@ -544,6 +544,9 @@ pub enum InbandMessage {
     SyncRequest(crate::sync::SyncRequest),
     /// A service-plane delta-sync response.
     SyncResponse(crate::sync::SyncResponse),
+    /// A typed rejection of a sync message whose major protocol version the
+    /// receiver does not speak.
+    SyncReject(crate::sync::SyncReject),
 }
 
 /// Decodes an in-band message from a raw packet payload.
@@ -566,6 +569,9 @@ pub fn decode_inband(payload: &[u8]) -> Result<InbandMessage> {
         )),
         crate::sync::WIRE_TAG_SYNC_RESPONSE => Ok(InbandMessage::SyncResponse(
             crate::sync::SyncResponse::decode_body(&mut r)?,
+        )),
+        crate::sync::WIRE_TAG_SYNC_REJECT => Ok(InbandMessage::SyncReject(
+            crate::sync::SyncReject::decode_body(&mut r)?,
         )),
         tag => Err(Error::codec(format!("unknown in-band message tag {tag}"))),
     }

@@ -87,6 +87,76 @@ pub struct SyncResponse {
 
 pub(crate) const WIRE_TAG_SYNC_REQUEST: u8 = 0x55;
 pub(crate) const WIRE_TAG_SYNC_RESPONSE: u8 = 0x56;
+pub(crate) const WIRE_TAG_SYNC_REJECT: u8 = 0x57;
+
+/// Current sync wire-protocol version: major in the high nibble, minor in
+/// the low nibble. Every [`SyncRequest`]/[`SyncResponse`] carries this byte
+/// right after its wire tag; a peer that receives an unknown *major* version
+/// must reject the message (minor bumps are compatible extensions).
+pub const SYNC_PROTOCOL_VERSION: u8 = 0x10;
+
+/// The major half of a sync protocol version byte.
+#[must_use]
+pub const fn sync_version_major(version: u8) -> u8 {
+    version >> 4
+}
+
+/// Checks a received version byte against [`SYNC_PROTOCOL_VERSION`].
+///
+/// # Errors
+///
+/// Returns [`Error::UnsupportedVersion`] when the major versions differ.
+pub fn check_sync_version(got: u8) -> Result<()> {
+    if sync_version_major(got) == sync_version_major(SYNC_PROTOCOL_VERSION) {
+        Ok(())
+    } else {
+        Err(Error::UnsupportedVersion {
+            supported: SYNC_PROTOCOL_VERSION,
+            got,
+        })
+    }
+}
+
+/// The server's typed rejection of a sync message whose major version it
+/// does not speak. Carries both version bytes so the client can decide
+/// whether it is able to downgrade — the negotiation half of the version
+/// handshake. Deliberately version-less itself: any implementation must be
+/// able to read it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReject {
+    /// The highest version the server speaks.
+    pub supported: u8,
+    /// The version byte the server received.
+    pub got: u8,
+}
+
+impl SyncReject {
+    /// Encodes the rejection for embedding into a packet payload or frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(WIRE_TAG_SYNC_REJECT);
+        w.put_u8(self.supported);
+        w.put_u8(self.got);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode_body(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(SyncReject {
+            supported: r.get_u8()?,
+            got: r.get_u8()?,
+        })
+    }
+
+    /// The typed error this rejection reports.
+    #[must_use]
+    pub fn as_error(&self) -> Error {
+        Error::UnsupportedVersion {
+            supported: self.supported,
+            got: self.got,
+        }
+    }
+}
 
 const PAYLOAD_UNCHANGED: u8 = 1;
 const PAYLOAD_DELTA: u8 = 2;
@@ -114,6 +184,7 @@ impl SyncRequest {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u8(WIRE_TAG_SYNC_REQUEST);
+        w.put_u8(SYNC_PROTOCOL_VERSION);
         w.put_u32(self.client.0);
         w.put_u16(self.session);
         w.put_u64(self.have_serial);
@@ -121,6 +192,7 @@ impl SyncRequest {
     }
 
     pub(crate) fn decode_body(r: &mut ByteReader<'_>) -> Result<Self> {
+        check_sync_version(r.get_u8()?)?;
         Ok(SyncRequest {
             client: ClientId(r.get_u32()?),
             session: r.get_u16()?,
@@ -135,6 +207,7 @@ impl SyncResponse {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u8(WIRE_TAG_SYNC_RESPONSE);
+        w.put_u8(SYNC_PROTOCOL_VERSION);
         w.put_u16(self.session);
         w.put_u64(self.serial);
         match &self.payload {
@@ -169,6 +242,7 @@ impl SyncResponse {
     }
 
     pub(crate) fn decode_body(r: &mut ByteReader<'_>) -> Result<Self> {
+        check_sync_version(r.get_u8()?)?;
         let session = r.get_u16()?;
         let serial = r.get_u64()?;
         let payload = match r.get_u8()? {
@@ -624,6 +698,84 @@ mod tests {
         session.desynchronise();
         assert!(!session.is_synchronised());
         assert!(session.bytes_received() > 0);
+    }
+
+    #[test]
+    fn sync_messages_carry_the_protocol_version() {
+        let req = SyncRequest {
+            client: ClientId(1),
+            session: 2,
+            have_serial: 3,
+        };
+        assert_eq!(req.encode()[1], SYNC_PROTOCOL_VERSION);
+        let resp = SyncResponse {
+            session: 2,
+            serial: 3,
+            payload: SyncPayload::Unchanged,
+        };
+        assert_eq!(resp.encode()[1], SYNC_PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn future_minor_versions_decode_future_majors_are_rejected() {
+        let req = SyncRequest {
+            client: ClientId(9),
+            session: 5,
+            have_serial: 7,
+        };
+
+        // A minor bump is a compatible extension: still decodes.
+        let mut minor = req.encode();
+        minor[1] = SYNC_PROTOCOL_VERSION + 1;
+        assert!(sync_version_major(minor[1]) == sync_version_major(SYNC_PROTOCOL_VERSION));
+        match decode_inband(&minor).unwrap() {
+            InbandMessage::SyncRequest(decoded) => assert_eq!(decoded, req),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A major bump is rejected with the typed version error, for both
+        // requests and responses.
+        let mut major = req.encode();
+        major[1] = SYNC_PROTOCOL_VERSION.wrapping_add(0x10);
+        assert_eq!(
+            decode_inband(&major).unwrap_err(),
+            rvaas_types::Error::UnsupportedVersion {
+                supported: SYNC_PROTOCOL_VERSION,
+                got: SYNC_PROTOCOL_VERSION.wrapping_add(0x10),
+            }
+        );
+        let mut resp = SyncResponse {
+            session: 5,
+            serial: 7,
+            payload: SyncPayload::Unchanged,
+        }
+        .encode();
+        resp[1] = 0x20;
+        assert!(matches!(
+            decode_inband(&resp),
+            Err(rvaas_types::Error::UnsupportedVersion { got: 0x20, .. })
+        ));
+    }
+
+    #[test]
+    fn sync_reject_roundtrips_and_reports_the_typed_error() {
+        let reject = SyncReject {
+            supported: SYNC_PROTOCOL_VERSION,
+            got: 0x20,
+        };
+        match decode_inband(&reject.encode()).unwrap() {
+            InbandMessage::SyncReject(decoded) => {
+                assert_eq!(decoded, reject);
+                assert_eq!(
+                    decoded.as_error(),
+                    rvaas_types::Error::UnsupportedVersion {
+                        supported: SYNC_PROTOCOL_VERSION,
+                        got: 0x20,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -214,7 +214,8 @@ impl RvaasController {
             InbandMessage::AuthRequest(_)
             | InbandMessage::Reply(_)
             | InbandMessage::SyncRequest(_)
-            | InbandMessage::SyncResponse(_) => {}
+            | InbandMessage::SyncResponse(_)
+            | InbandMessage::SyncReject(_) => {}
         }
     }
 

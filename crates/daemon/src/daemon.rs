@@ -1,0 +1,295 @@
+//! The long-running daemon: one [`VerificationService`] shared by two
+//! listeners.
+//!
+//! * The **sync listener** speaks the `rvaas-client` delta-sync protocol
+//!   over length-prefixed TCP frames: each frame is an in-band
+//!   [`rvaas_client::SyncRequest`], answered from the live epoch store. A
+//!   peer speaking an unsupported protocol major version gets a
+//!   [`SyncReject`] frame back (the negotiation half of the version
+//!   handshake) and the connection is closed.
+//! * The **HTTP listener** serves `POST /v1/query`, `GET /v1/epoch` and
+//!   `GET /metrics` (see [`crate::http`]).
+//!
+//! Shutdown is cooperative: a shared flag flips, the nonblocking accept
+//! loops notice within one poll interval, per-connection read timeouts
+//! bound how long a draining connection thread can linger, and
+//! [`Daemon::shutdown`] joins everything before returning.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
+use rvaas_client::{read_frame, write_frame, SyncReject};
+use rvaas_controlplane::benign_rules;
+use rvaas_service::{ServiceError, SyncServer, VerificationService};
+use rvaas_telemetry::{Counter, Registry};
+use rvaas_types::SimTime;
+
+use crate::config::DaemonConfig;
+use crate::http;
+
+/// How often the accept loops poll the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Read timeout on sync connections: bounds both a stuck peer and the
+/// drain latency at shutdown.
+const SYNC_READ_TIMEOUT: Duration = Duration::from_millis(100);
+/// Read timeout on HTTP connections (one short request each).
+const HTTP_READ_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// A running `rvaas` daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    service: Arc<VerificationService>,
+    sync_server: Arc<SyncServer>,
+    shutdown: Arc<AtomicBool>,
+    http_addr: Option<SocketAddr>,
+    sync_addr: Option<SocketAddr>,
+    listeners: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// Builds the topology, starts the verification service, publishes the
+    /// initial routing epoch and binds the configured listeners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Config`] for a bad topology spec or an
+    /// unbindable listen address, and propagates publish failures.
+    pub fn start(config: &DaemonConfig) -> Result<Self, ServiceError> {
+        let topology = config.build_topology()?;
+        let registry = Registry::shared();
+        let service = Arc::new(VerificationService::with_registry(
+            topology.clone(),
+            config.service.clone().into_config(VerifierConfig {
+                use_history: false,
+                locations: LocationMap::disclosed(&topology),
+            }),
+            Arc::clone(&registry),
+        ));
+        // Epoch 1: the benign shortest-path routing state for the topology
+        // (the daemon's stand-in for a controller feed; `publish` on the
+        // service keeps advancing it).
+        let mut snapshot = NetworkSnapshot::new(SimTime::from_millis(1));
+        for (switch, entry) in benign_rules(&topology) {
+            snapshot.record_installed(switch, entry, SimTime::from_millis(1));
+        }
+        service.try_publish(&snapshot, SimTime::from_millis(1))?;
+
+        // Distinct per process start, so reconnecting clients detect a
+        // restart and fall back to a reset (session 0 means "none").
+        let session_id = (std::process::id() % u32::from(u16::MAX - 1) + 1) as u16;
+        let sync_server = Arc::new(SyncServer::with_registry(
+            service.store(),
+            session_id,
+            &registry,
+        ));
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let mut daemon = Daemon {
+            service,
+            sync_server,
+            shutdown,
+            http_addr: None,
+            sync_addr: None,
+            listeners: Vec::new(),
+            connections,
+        };
+        if let Some(addr) = &config.service.sync_listen {
+            let listener = bind(addr)?;
+            daemon.sync_addr = Some(local_addr(&listener)?);
+            let handle = daemon.spawn_accept_loop(
+                listener,
+                "rvaas_sync_sessions_total",
+                "Sync TCP sessions accepted.",
+                serve_sync_connection,
+            );
+            daemon.listeners.push(handle);
+        }
+        if let Some(addr) = &config.service.http_listen {
+            let listener = bind(addr)?;
+            daemon.http_addr = Some(local_addr(&listener)?);
+            let handle = daemon.spawn_accept_loop(
+                listener,
+                "rvaas_http_connections_total",
+                "HTTP connections accepted.",
+                serve_http_connection,
+            );
+            daemon.listeners.push(handle);
+        }
+        Ok(daemon)
+    }
+
+    /// The shared verification service (publish epochs, query directly).
+    #[must_use]
+    pub fn service(&self) -> &Arc<VerificationService> {
+        &self.service
+    }
+
+    /// The sync server answering the TCP endpoint.
+    #[must_use]
+    pub fn sync_server(&self) -> &Arc<SyncServer> {
+        &self.sync_server
+    }
+
+    /// Bound address of the HTTP listener, if one was configured.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// Bound address of the sync listener, if one was configured.
+    #[must_use]
+    pub fn sync_addr(&self) -> Option<SocketAddr> {
+        self.sync_addr
+    }
+
+    /// Flips the shutdown flag and joins every listener and connection
+    /// thread: on return no daemon thread is running.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.listeners.drain(..) {
+            let _ = handle.join();
+        }
+        let drained: Vec<JoinHandle<()>> = {
+            let mut connections = self
+                .connections
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            connections.drain(..).collect()
+        };
+        for handle in drained {
+            let _ = handle.join();
+        }
+    }
+
+    fn spawn_accept_loop(
+        &self,
+        listener: TcpListener,
+        counter_name: &'static str,
+        counter_help: &'static str,
+        serve: fn(&ConnectionContext, TcpStream),
+    ) -> JoinHandle<()> {
+        let context = ConnectionContext {
+            service: Arc::clone(&self.service),
+            sync_server: Arc::clone(&self.sync_server),
+            shutdown: Arc::clone(&self.shutdown),
+            accepted: self.service.registry().counter(counter_name, counter_help),
+            http_requests: self.service.registry().counter(
+                "rvaas_http_requests_total",
+                "HTTP requests parsed by the daemon.",
+            ),
+            sync_frames: self.service.registry().counter(
+                "rvaas_sync_frames_total",
+                "Sync request frames answered by the daemon.",
+            ),
+        };
+        let connections = Arc::clone(&self.connections);
+        thread::spawn(move || {
+            while !context.shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        context.accepted.inc();
+                        let context = context.clone();
+                        let handle = thread::spawn(move || serve(&context, stream));
+                        connections
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(handle);
+                    }
+                    // WouldBlock is the idle case; other accept errors
+                    // (e.g. a reset mid-handshake) are transient and must
+                    // not kill the listener either.
+                    Err(_) => thread::sleep(ACCEPT_POLL),
+                }
+            }
+        })
+    }
+}
+
+/// Everything a connection thread needs, cloned per connection.
+#[derive(Clone)]
+struct ConnectionContext {
+    service: Arc<VerificationService>,
+    sync_server: Arc<SyncServer>,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<Counter>,
+    http_requests: Arc<Counter>,
+    sync_frames: Arc<Counter>,
+}
+
+fn bind(addr: &str) -> Result<TcpListener, ServiceError> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| ServiceError::Config(format!("cannot bind {addr}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServiceError::Config(format!("cannot configure listener {addr}: {e}")))?;
+    Ok(listener)
+}
+
+fn local_addr(listener: &TcpListener) -> Result<SocketAddr, ServiceError> {
+    listener
+        .local_addr()
+        .map_err(|e| ServiceError::Config(format!("listener has no local address: {e}")))
+}
+
+/// One sync session: frames in, frames out, until EOF, error or shutdown.
+fn serve_sync_connection(context: &ConnectionContext, stream: TcpStream) {
+    let mut stream = stream;
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(SYNC_READ_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    loop {
+        if context.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(None) => return, // peer closed cleanly
+            Ok(Some(frame)) => frame,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        };
+        match context.sync_server.handle_frame(&context.service, &frame) {
+            Ok(response) => {
+                context.sync_frames.inc();
+                if write_frame(&mut stream, &response).is_err() {
+                    return;
+                }
+            }
+            Err(ServiceError::VersionMismatch { supported, got }) => {
+                // Negotiation: tell the peer what we speak, then hang up.
+                let reject = SyncReject { supported, got }.encode();
+                let _ = write_frame(&mut stream, &reject);
+                return;
+            }
+            Err(_) => return, // undecodable frame: drop the connection
+        }
+    }
+}
+
+/// One HTTP exchange: parse, route, respond, close.
+fn serve_http_connection(context: &ConnectionContext, stream: TcpStream) {
+    let mut stream = stream;
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(HTTP_READ_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let response = match http::read_request(&mut stream) {
+        Ok(request) => {
+            // Counted at parse time, before dispatch: a scrape of /metrics
+            // observes itself.
+            context.http_requests.inc();
+            http::route(&context.service, &context.sync_server, &request)
+        }
+        Err(why) => http::HttpResponse::error(400, &why),
+    };
+    let _ = response.write_to(&mut stream);
+}

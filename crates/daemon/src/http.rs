@@ -1,0 +1,291 @@
+//! A hand-rolled, deliberately minimal HTTP/1.1 server face.
+//!
+//! The daemon needs exactly three routes — `POST /v1/query`, `GET
+//! /v1/epoch` and `GET /metrics` — and the build environment vendors no
+//! HTTP crate, so this module implements just enough of RFC 9112 to serve
+//! them: request-line + headers + `Content-Length` body, one request per
+//! connection (`Connection: close` on every response). No chunked
+//! encoding, no keep-alive, no TLS.
+
+use std::io::{self, Read, Write};
+
+use rvaas_service::{ServiceError, SyncServer, VerificationService};
+
+use crate::json;
+
+/// Upper bound on request head + body; a query body is tens of bytes.
+const MAX_REQUEST_LEN: usize = 64 * 1024;
+
+/// A parsed HTTP request: just the parts the router needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The request method, upper-case as received.
+    pub method: String,
+    /// The request target (path; any query string is kept verbatim).
+    pub target: String,
+    /// The body, UTF-8 decoded.
+    pub body: String,
+}
+
+/// A response ready for serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        HttpResponse::json(status, format!("{{\"error\":{}}}", json::quote(message)))
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serialises status line, headers and body onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reads and parses one HTTP request off `r`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed, oversized or truncated
+/// requests (the caller answers 400 and closes).
+pub fn read_request<R: Read>(r: &mut R) -> Result<HttpRequest, String> {
+    // Read until the blank line terminating the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(at) = find_head_end(&buf) {
+            break at;
+        }
+        if buf.len() > MAX_REQUEST_LEN {
+            return Err("request head too large".to_string());
+        }
+        let n = r
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("malformed request line {request_line:?}"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_LEN {
+        return Err("request body too large".to_string());
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = r
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        body: String::from_utf8(body).map_err(|_| "non-UTF-8 body".to_string())?,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Maps a [`ServiceError`] onto the HTTP status that describes it.
+#[must_use]
+pub fn status_for(error: &ServiceError) -> u16 {
+    match error {
+        ServiceError::InvalidQuery(_)
+        | ServiceError::Codec(_)
+        | ServiceError::Config(_)
+        | ServiceError::VersionMismatch { .. } => 400,
+        ServiceError::PoolUnavailable { .. } | ServiceError::QueryDropped => 503,
+        ServiceError::PublishRejected(_) => 500,
+    }
+}
+
+/// Routes one request against the running service.
+#[must_use]
+pub fn route(
+    service: &VerificationService,
+    sync_server: &SyncServer,
+    request: &HttpRequest,
+) -> HttpResponse {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/v1/query") => match handle_query(service, &request.body) {
+            Ok(body) => HttpResponse::json(200, body),
+            Err(err) => HttpResponse::error(status_for(&err), &err.to_string()),
+        },
+        ("GET", "/v1/epoch") => HttpResponse::json(200, epoch_body(service, sync_server)),
+        ("GET", "/metrics") => HttpResponse::text(200, service.registry().render_text()),
+        (_, "/v1/query" | "/v1/epoch" | "/metrics") => {
+            HttpResponse::error(405, &format!("method {} not allowed", request.method))
+        }
+        _ => HttpResponse::error(404, &format!("no route for {}", request.target)),
+    }
+}
+
+fn handle_query(service: &VerificationService, body: &str) -> Result<String, ServiceError> {
+    let (client, spec) = json::parse_query_request(body)?;
+    let response = service.try_query(client, spec)?;
+    Ok(json::render_response(&response))
+}
+
+fn epoch_body(service: &VerificationService, sync_server: &SyncServer) -> String {
+    let epoch = service.store().current();
+    // A stable content digest over the published digest set, so two scrapes
+    // can tell "same serial" from "same rules".
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for d in &epoch.digests {
+        digest ^= d.0;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!(
+        "{{\"serial\":{},\"session\":{},\"rules\":{},\"digest\":\"{digest:016x}\"}}",
+        epoch.serial,
+        sync_server.session_id(),
+        epoch.rules.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn requests_parse_with_and_without_bodies() {
+        let raw = b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/query");
+        assert_eq!(req.body, "body");
+
+        let raw = b"GET /metrics HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..],
+        ] {
+            assert!(
+                read_request(&mut Cursor::new(raw.to_vec())).is_err(),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_serialise_with_content_length_and_close() {
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{\"ok\":true}".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn service_errors_map_onto_meaningful_statuses() {
+        assert_eq!(
+            status_for(&ServiceError::InvalidQuery("x".to_string())),
+            400
+        );
+        assert_eq!(status_for(&ServiceError::QueryDropped), 503);
+        assert_eq!(
+            status_for(&ServiceError::PoolUnavailable { context: "submit" }),
+            503
+        );
+        assert_eq!(
+            status_for(&ServiceError::PublishRejected("full".to_string())),
+            500
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Hand-rolled JSON for the HTTP API.
+//!
+//! The build environment vendors no JSON crate (the workspace's `serde` is
+//! a no-op derive shim), so the daemon carries its own minimal JSON: a
+//! recursive-descent parser for request bodies and direct string rendering
+//! for verdicts. The parser accepts standard JSON objects/arrays/strings/
+//! unsigned integers/booleans/null — everything the query API needs — and
+//! rejects the rest with a position-tagged message.
+
+use std::fmt::Write as _;
+
+use rvaas_client::QuerySpec;
+use rvaas_service::{QueryResponse, ServiceError};
+use rvaas_types::ClientId;
+
+/// A parsed JSON value (no floats: the API's numbers are all unsigned
+/// integers, and rejecting floats keeps round-trips exact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    #[must_use]
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, why: &str) -> String {
+        format!("JSON parse error at byte {}: {why}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .peek()
+                .ok_or_else(|| self.error("unterminated string"))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escaped = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        _ => return Err(self.error("unsupported escape")),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar, however many bytes it spans.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.error("floating-point numbers are not accepted"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>()
+            .map(Json::Int)
+            .map_err(|_| self.error("number out of range or empty"))
+    }
+}
+
+/// Parses one JSON document; trailing garbage is an error.
+///
+/// # Errors
+///
+/// Returns a position-tagged message describing the first problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Escapes `text` as a JSON string literal (including the quotes).
+#[must_use]
+pub fn quote(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Resolves a query name (as used by the HTTP API and the `verify`
+/// subcommand) to a [`QuerySpec`]. `path_length` requires `to_ip`.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::InvalidQuery`] for unknown names or a missing
+/// `to_ip`.
+pub fn query_by_name(name: &str, to_ip: Option<u64>) -> Result<QuerySpec, ServiceError> {
+    match name {
+        "reachable_destinations" => Ok(QuerySpec::ReachableDestinations),
+        "reaching_sources" => Ok(QuerySpec::ReachingSources),
+        "isolation" => Ok(QuerySpec::Isolation),
+        "geo_location" => Ok(QuerySpec::GeoLocation),
+        "neutrality" => Ok(QuerySpec::Neutrality),
+        "path_length" => {
+            let to_ip = to_ip.ok_or_else(|| {
+                ServiceError::InvalidQuery("path_length requires \"to_ip\"".to_string())
+            })?;
+            let to_ip = u32::try_from(to_ip)
+                .map_err(|_| ServiceError::InvalidQuery("to_ip out of range".to_string()))?;
+            Ok(QuerySpec::PathLength { to_ip })
+        }
+        other => Err(ServiceError::InvalidQuery(format!(
+            "unknown query {other:?} (known: reachable_destinations, reaching_sources, \
+             isolation, geo_location, path_length, neutrality)"
+        ))),
+    }
+}
+
+/// Parses a `POST /v1/query` body: `{"client": N, "query": "name"}` plus
+/// `"to_ip"` for `path_length`.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::InvalidQuery`] for malformed JSON or fields.
+pub fn parse_query_request(body: &str) -> Result<(ClientId, QuerySpec), ServiceError> {
+    let doc = parse(body).map_err(ServiceError::InvalidQuery)?;
+    let client = doc
+        .get("client")
+        .and_then(Json::as_int)
+        .ok_or_else(|| ServiceError::InvalidQuery("\"client\" must be an integer".to_string()))?;
+    let client = u32::try_from(client)
+        .map(ClientId)
+        .map_err(|_| ServiceError::InvalidQuery("\"client\" out of range".to_string()))?;
+    let name = doc
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::InvalidQuery("\"query\" must be a string".to_string()))?;
+    let spec = query_by_name(name, doc.get("to_ip").and_then(Json::as_int))?;
+    Ok((client, spec))
+}
+
+/// The canonical name of a query spec, inverse of [`query_by_name`].
+#[must_use]
+pub fn query_name(spec: &QuerySpec) -> &'static str {
+    match spec {
+        QuerySpec::ReachableDestinations => "reachable_destinations",
+        QuerySpec::ReachingSources => "reaching_sources",
+        QuerySpec::Isolation => "isolation",
+        QuerySpec::GeoLocation => "geo_location",
+        QuerySpec::PathLength { .. } => "path_length",
+        QuerySpec::Neutrality => "neutrality",
+    }
+}
+
+fn render_endpoints(reports: &[rvaas_client::EndpointReport]) -> String {
+    let items: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"ip\":{},\"client\":{},\"authenticated\":{}}}",
+                r.ip, r.client.0, r.authenticated
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders a query result as a JSON object string.
+#[must_use]
+pub fn render_result(result: &rvaas_client::QueryResult) -> String {
+    use rvaas_client::QueryResult;
+    match result {
+        QueryResult::Endpoints { endpoints } => {
+            format!("{{\"endpoints\":{}}}", render_endpoints(endpoints))
+        }
+        QueryResult::Sources { sources } => {
+            format!("{{\"sources\":{}}}", render_endpoints(sources))
+        }
+        QueryResult::IsolationStatus {
+            isolated,
+            foreign_endpoints,
+        } => format!(
+            "{{\"isolated\":{isolated},\"foreign_endpoints\":{}}}",
+            render_endpoints(foreign_endpoints)
+        ),
+        QueryResult::Regions { regions } => {
+            let items: Vec<String> = regions.iter().map(|r| quote(r)).collect();
+            format!("{{\"regions\":[{}]}}", items.join(","))
+        }
+        QueryResult::PathLength {
+            min_hops,
+            max_hops,
+            reachable,
+        } => {
+            format!("{{\"min_hops\":{min_hops},\"max_hops\":{max_hops},\"reachable\":{reachable}}}")
+        }
+        QueryResult::Neutrality { fair, violations } => {
+            let items: Vec<String> = violations
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{{\"victim\":{},\"favoured\":{},\"victim_rate_kbps\":{},\
+                         \"favoured_rate_kbps\":{}}}",
+                        v.victim.0, v.favoured.0, v.victim_rate_kbps, v.favoured_rate_kbps
+                    )
+                })
+                .collect();
+            format!("{{\"fair\":{fair},\"violations\":[{}]}}", items.join(","))
+        }
+        QueryResult::Rejected { reason } => {
+            format!("{{\"rejected\":{}}}", quote(reason))
+        }
+    }
+}
+
+/// Renders a full verdict: the query echo, the epoch it was answered
+/// against, the latency and the result.
+#[must_use]
+pub fn render_response(response: &QueryResponse) -> String {
+    format!(
+        "{{\"client\":{},\"query\":{},\"epoch_serial\":{},\"latency_us\":{},\"result\":{}}}",
+        response.client.0,
+        quote(query_name(&response.spec)),
+        response.epoch_serial,
+        response.latency.as_micros(),
+        render_result(&response.result)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bodies_parse_into_specs() {
+        let (client, spec) = parse_query_request(r#"{"client": 1, "query": "isolation"}"#).unwrap();
+        assert_eq!(client, ClientId(1));
+        assert_eq!(spec, QuerySpec::Isolation);
+
+        let (_, spec) =
+            parse_query_request(r#"{"client":2,"query":"path_length","to_ip":4242}"#).unwrap();
+        assert_eq!(spec, QuerySpec::PathLength { to_ip: 4242 });
+    }
+
+    #[test]
+    fn bad_bodies_are_invalid_query_errors() {
+        for body in [
+            "not json",
+            r#"{"query": "isolation"}"#,
+            r#"{"client": 1}"#,
+            r#"{"client": 1, "query": "tarot_reading"}"#,
+            r#"{"client": 1, "query": "path_length"}"#,
+            r#"{"client": 4294967296, "query": "isolation"}"#,
+            r#"{"client": 1, "query": "isolation"} trailing"#,
+        ] {
+            assert!(
+                matches!(
+                    parse_query_request(body),
+                    Err(ServiceError::InvalidQuery(_))
+                ),
+                "{body:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_handles_nesting_strings_and_escapes() {
+        let doc = parse(r#"{"a": [1, {"b": "x\n\"y\""}, true, null], "c": 0}"#).unwrap();
+        let Json::Array(items) = doc.get("a").unwrap() else {
+            panic!("expected array");
+        };
+        assert_eq!(items[0], Json::Int(1));
+        assert_eq!(items[1].get("b").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(items[2], Json::Bool(true));
+        assert_eq!(items[3], Json::Null);
+        assert_eq!(doc.get("c").unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn rendered_results_reparse_as_json() {
+        use rvaas_client::{EndpointReport, QueryResult};
+        let rendered = render_result(&QueryResult::IsolationStatus {
+            isolated: false,
+            foreign_endpoints: vec![EndpointReport {
+                ip: 7,
+                client: ClientId(2),
+                authenticated: true,
+            }],
+        });
+        let doc = parse(&rendered).unwrap();
+        assert_eq!(doc.get("isolated"), Some(&Json::Bool(false)));
+        let rejected = render_result(&QueryResult::Rejected {
+            reason: "no \"rules\"\n".to_string(),
+        });
+        assert_eq!(
+            parse(&rejected).unwrap().get("rejected").unwrap().as_str(),
+            Some("no \"rules\"\n")
+        );
+    }
+}

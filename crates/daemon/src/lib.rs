@@ -1,0 +1,36 @@
+//! # rvaas-daemon — the served network face of the verification service
+//!
+//! Everything below the `rvaas` binary's argument parsing lives in this
+//! library so integration tests can drive a real daemon in-process over
+//! real sockets:
+//!
+//! * [`config`] — [`config::DaemonConfig`]: the TOML-subset config file
+//!   and CLI overrides, funnelled through one validation path shared with
+//!   [`rvaas_service::ServiceSettings`].
+//! * [`daemon`] — [`daemon::Daemon`]: binds the TCP delta-sync endpoint
+//!   and the HTTP endpoint over one shared
+//!   [`rvaas_service::VerificationService`], with cooperative shutdown
+//!   that drains every listener and connection thread.
+//! * [`http`] — the minimal hand-rolled HTTP/1.1 layer (`POST /v1/query`,
+//!   `GET /v1/epoch`, `GET /metrics`).
+//! * [`json`] — hand-rolled JSON parsing/rendering for the query API (the
+//!   build vendors no JSON crate).
+//!
+//! The binary itself adds the routinator-style subcommands: `serve` (the
+//! daemon), `verify` (one-shot: evaluate queries, print JSON verdicts,
+//! exit) and `man` (the embedded manual page).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod http;
+pub mod json;
+
+pub use config::{build_topology, DaemonConfig};
+pub use daemon::Daemon;
+pub use http::{HttpRequest, HttpResponse};
+
+/// The embedded manual page, printed by `rvaas man`.
+pub const MAN_PAGE: &str = include_str!("man.txt");

@@ -1,0 +1,218 @@
+//! End-to-end exercise of the `rvaas` daemon over real sockets: the HTTP
+//! query API, concurrent TCP delta-sync sessions riding an epoch publish,
+//! the Prometheus scrape, protocol-version negotiation and clean shutdown
+//! — all in-process on ephemeral ports.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rvaas_client::{
+    decode_inband, read_frame, write_frame, InbandMessage, SyncPayload, SyncSession,
+    SYNC_PROTOCOL_VERSION,
+};
+use rvaas_daemon::{json, Daemon, DaemonConfig};
+use rvaas_openflow::{Action, FlowEntry, FlowMatch};
+use rvaas_types::{ClientId, SimTime, SwitchId};
+
+fn started_daemon() -> Daemon {
+    let mut config = DaemonConfig::default();
+    config.set("topology", "line(4,2)").unwrap();
+    config.set("workers", "2").unwrap();
+    config.set("sync_listen", "127.0.0.1:0").unwrap();
+    config.set("http_listen", "127.0.0.1:0").unwrap();
+    Daemon::start(&config).unwrap()
+}
+
+/// One raw HTTP/1.1 exchange; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: rvaas\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Runs one sync exchange on an open connection and applies the response.
+fn sync_roundtrip(stream: &mut TcpStream, session: &mut SyncSession, client: ClientId) {
+    let request = session.request(client);
+    write_frame(stream, &request.encode()).unwrap();
+    let frame = read_frame(stream).unwrap().expect("server closed early");
+    let InbandMessage::SyncResponse(response) = decode_inband(&frame).unwrap() else {
+        panic!("expected a SyncResponse");
+    };
+    session.apply(&response).unwrap();
+}
+
+#[test]
+fn daemon_serves_http_and_concurrent_sync_sessions_over_an_epoch_publish() {
+    let daemon = started_daemon();
+    let http_addr = daemon.http_addr().unwrap();
+    let sync_addr = daemon.sync_addr().unwrap();
+
+    // --- HTTP query API -------------------------------------------------
+    let (status, body) = http(
+        http_addr,
+        "POST",
+        "/v1/query",
+        r#"{"client": 1, "query": "isolation"}"#,
+    );
+    assert_eq!(status, 200, "query failed: {body}");
+    let verdict = json::parse(&body).unwrap();
+    assert_eq!(verdict.get("client").unwrap().as_int(), Some(1));
+    assert_eq!(verdict.get("epoch_serial").unwrap().as_int(), Some(1));
+    assert!(verdict.get("result").unwrap().get("isolated").is_some());
+
+    let (status, body) = http(
+        http_addr,
+        "POST",
+        "/v1/query",
+        r#"{"client": 1, "query": "seance"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown query"), "{body}");
+    let (status, _) = http(http_addr, "GET", "/v1/query", "");
+    assert_eq!(status, 405);
+    let (status, _) = http(http_addr, "GET", "/v1/nonsense", "");
+    assert_eq!(status, 404);
+
+    // --- two concurrent sync sessions + concurrent HTTP queries ---------
+    // Both connections stay open across the epoch publish; each issues its
+    // baseline reset in its own thread while HTTP queries run alongside.
+    let mut conn1 = TcpStream::connect(sync_addr).unwrap();
+    let mut conn2 = TcpStream::connect(sync_addr).unwrap();
+    let mut session1 = SyncSession::new();
+    let mut session2 = SyncSession::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| sync_roundtrip(&mut conn1, &mut session1, ClientId(1)));
+        scope.spawn(|| sync_roundtrip(&mut conn2, &mut session2, ClientId(2)));
+        scope.spawn(|| {
+            let (status, _) = http(
+                http_addr,
+                "POST",
+                "/v1/query",
+                r#"{"client": 2, "query": "neutrality"}"#,
+            );
+            assert_eq!(status, 200);
+        });
+    });
+    assert_eq!(session1.serial(), 1);
+    assert_eq!(session2.serial(), 1);
+
+    // Publish epoch 2 through the daemon's service handle; both live
+    // sessions must ride the delta (not a reset) to the new serial.
+    let mut snapshot = daemon.service().store().current().snapshot.clone();
+    snapshot.record_installed(
+        SwitchId(1),
+        FlowEntry::new(7, FlowMatch::to_ip(0x0a00_0001), vec![Action::Drop]),
+        SimTime::from_millis(20),
+    );
+    let serial = daemon
+        .service()
+        .publish(&snapshot, SimTime::from_millis(20));
+    assert_eq!(serial, 2);
+
+    for (conn, session, client) in [
+        (&mut conn1, &mut session1, ClientId(1)),
+        (&mut conn2, &mut session2, ClientId(2)),
+    ] {
+        let request = session.request(client);
+        write_frame(conn, &request.encode()).unwrap();
+        let frame = read_frame(conn).unwrap().unwrap();
+        let InbandMessage::SyncResponse(response) = decode_inband(&frame).unwrap() else {
+            panic!("expected a SyncResponse");
+        };
+        assert!(
+            matches!(response.payload, SyncPayload::Delta { .. }),
+            "live session must get a delta, got {:?}",
+            response.payload
+        );
+        session.apply(&response).unwrap();
+        assert_eq!(session.serial(), 2);
+    }
+
+    // --- /v1/epoch reflects the publish ---------------------------------
+    let (status, body) = http(http_addr, "GET", "/v1/epoch", "");
+    assert_eq!(status, 200);
+    let epoch = json::parse(&body).unwrap();
+    assert_eq!(epoch.get("serial").unwrap().as_int(), Some(2));
+    assert!(epoch.get("rules").unwrap().as_int().unwrap() > 0);
+
+    // --- /metrics parses and carries the daemon's counters --------------
+    let (status, text) = http(http_addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let samples = rvaas_telemetry::parse_text(&text).unwrap();
+    let value_of = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from scrape"))
+            .value
+    };
+    assert!(
+        value_of("rvaas_http_requests_total") >= 1.0,
+        "the scrape observes itself"
+    );
+    assert!(value_of("rvaas_sync_sessions_total") >= 2.0);
+    assert!(value_of("rvaas_queries_total") >= 1.0);
+
+    // --- clean shutdown drains everything -------------------------------
+    drop(conn1);
+    drop(conn2);
+    daemon.shutdown();
+}
+
+#[test]
+fn unsupported_sync_version_is_answered_with_a_reject_frame() {
+    let daemon = started_daemon();
+    let mut stream = TcpStream::connect(daemon.sync_addr().unwrap()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // A valid request with the version byte bumped to a future major.
+    let mut payload = SyncSession::new().request(ClientId(1)).encode();
+    payload[1] = 0x20;
+    write_frame(&mut stream, &payload).unwrap();
+    let frame = read_frame(&mut stream).unwrap().expect("no reject frame");
+    let InbandMessage::SyncReject(reject) = decode_inband(&frame).unwrap() else {
+        panic!("expected a SyncReject");
+    };
+    assert_eq!(reject.supported, SYNC_PROTOCOL_VERSION);
+    assert_eq!(reject.got, 0x20);
+    // The server hangs up after rejecting.
+    assert!(read_frame(&mut stream).unwrap().is_none());
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_stops_accepting_new_connections() {
+    let daemon = started_daemon();
+    let http_addr = daemon.http_addr().unwrap();
+    let sync_addr = daemon.sync_addr().unwrap();
+    let (status, _) = http(http_addr, "GET", "/v1/epoch", "");
+    assert_eq!(status, 200);
+    daemon.shutdown();
+    assert!(
+        TcpStream::connect(http_addr).is_err(),
+        "http listener must be closed after shutdown"
+    );
+    assert!(
+        TcpStream::connect(sync_addr).is_err(),
+        "sync listener must be closed after shutdown"
+    );
+}

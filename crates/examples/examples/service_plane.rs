@@ -13,7 +13,7 @@
 
 use rvaas::{LocationMap, VerifierConfig};
 use rvaas_client::{QuerySpec, SyncPayload, SyncSession};
-use rvaas_service::{ServiceConfig, SyncServer, VerificationService};
+use rvaas_service::{ServiceSettings, SyncServer, VerificationService};
 use rvaas_topology::generators;
 use rvaas_types::{ClientId, HostId, SimTime};
 use rvaas_workloads::{benign_snapshot, churn_round, ScenarioBuilder};
@@ -50,11 +50,14 @@ fn main() {
     // --- 2. The service plane driven directly ----------------------------
     let service = VerificationService::new(
         topo.clone(),
-        ServiceConfig::new(VerifierConfig {
+        ServiceSettings {
+            workers: 4,
+            ..ServiceSettings::default()
+        }
+        .into_config(VerifierConfig {
             use_history: false,
             locations: LocationMap::disclosed(&topo),
-        })
-        .with_workers(4),
+        }),
     );
     let mut snapshot = benign_snapshot(&topo);
     let serial = service.publish(&snapshot, SimTime::from_millis(1));

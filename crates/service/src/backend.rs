@@ -10,7 +10,8 @@ use rvaas::{AnalysisBackend, NetworkSnapshot};
 use rvaas_client::{QueryResult, QuerySpec};
 use rvaas_types::{ClientId, SimTime};
 
-use crate::pool::{ServiceConfig, VerificationService};
+use crate::config::ServiceConfig;
+use crate::pool::VerificationService;
 use crate::sync::SyncServer;
 
 /// An [`AnalysisBackend`] backed by a [`VerificationService`].

@@ -37,6 +37,8 @@ use rvaas_openflow::FlowEntry;
 use rvaas_topology::Topology;
 use rvaas_types::{SimTime, SwitchId};
 
+use crate::error::ServiceError;
+
 /// Computes the digest identifying one installed flow entry.
 ///
 /// Stats and cookies are deliberately excluded: two entries that match and
@@ -213,10 +215,30 @@ impl EpochStore {
     /// delta (digests, rules and affected header region) against the
     /// previous epoch. Returns the new serial and the affected region.
     ///
+    /// # Panics
+    ///
+    /// Panics if the publish is rejected (see [`EpochStore::try_publish`]);
+    /// the daemon path uses the fallible form.
+    pub fn publish(&self, snapshot: NetworkSnapshot, at: SimTime) -> Published {
+        self.try_publish(snapshot, at)
+            .expect("epoch publish rejected")
+    }
+
+    /// Fallible form of [`EpochStore::publish`].
+    ///
     /// The write lock is held across the read–diff–swap so concurrent
     /// publishers serialise: each epoch gets a unique serial and a delta
     /// chained to its true predecessor.
-    pub fn publish(&self, snapshot: NetworkSnapshot, at: SimTime) -> Published {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PublishRejected`] if the serial space is
+    /// exhausted (the `u64` serial would overflow).
+    pub fn try_publish(
+        &self,
+        snapshot: NetworkSnapshot,
+        at: SimTime,
+    ) -> Result<Published, ServiceError> {
         // One hash pass over the tables, in per-switch arrival order; the
         // digest index and the (arrival-ordered) added-rule resolution are
         // both derived from it without re-hashing.
@@ -234,6 +256,12 @@ impl EpochStore {
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let previous = Arc::clone(&current);
+        let serial = previous.serial.checked_add(1).ok_or_else(|| {
+            ServiceError::PublishRejected(format!(
+                "epoch serial space exhausted at {}",
+                previous.serial
+            ))
+        })?;
         let added: Vec<FlowDigest> = digests.difference(&previous.digests).copied().collect();
         let removed: Vec<FlowDigest> = previous.digests.difference(&digests).copied().collect();
         let added_set: BTreeSet<FlowDigest> = added.iter().copied().collect();
@@ -285,7 +313,6 @@ impl EpochStore {
                 region
             }
         };
-        let serial = previous.serial + 1;
         {
             let mut deltas = self
                 .deltas
@@ -311,12 +338,12 @@ impl EpochStore {
             rules,
             published_at: at,
         });
-        Published {
+        Ok(Published {
             serial,
             changed,
             delta_rules: change_count,
             bulk_rebuild,
-        }
+        })
     }
 
     /// The combined delta from `since_serial` to the current serial, or

@@ -23,6 +23,12 @@
 //!   a full reset when the delta history has been evicted.
 //! * [`backend`] — [`backend::ServiceBackend`] plugs the service plane into
 //!   the existing `RvaasController` via [`rvaas::AnalysisBackend`].
+//! * [`config`] — the declarative [`config::ServiceSettings`] surface the
+//!   `rvaas` daemon builds from a config file and CLI overrides, replacing
+//!   the old per-knob builder sprawl.
+//! * [`error`] — the unified [`error::ServiceError`] every fallible
+//!   service-plane operation reports, replacing the old mix of panics,
+//!   `String`s and raw codec errors.
 //!
 //! ```
 //! use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
@@ -47,12 +53,16 @@
 
 pub mod backend;
 pub mod cache;
+pub mod config;
 pub mod epoch;
+pub mod error;
 pub mod pool;
 pub mod sync;
 
 pub use backend::ServiceBackend;
 pub use cache::{CacheStats, ResultCache};
+pub use config::{ServiceConfig, ServiceSettings, SETTING_KEYS};
 pub use epoch::{digest_entry, digest_snapshot, EpochDelta, EpochStore, Published, SnapshotEpoch};
-pub use pool::{QueryResponse, QueryTicket, ServiceConfig, ServiceStats, VerificationService};
+pub use error::ServiceError;
+pub use pool::{QueryResponse, QueryTicket, ServiceStats, VerificationService};
 pub use sync::{ReverifyStats, SyncServer};

@@ -22,73 +22,19 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rvaas::{query_affected, IncrementalModel, LogicalVerifier, NetworkSnapshot, VerifierConfig};
+use rvaas::{query_affected, IncrementalModel, LogicalVerifier, NetworkSnapshot};
 use rvaas_client::{QueryResult, QuerySpec};
 use rvaas_telemetry::{Counter, Gauge, Histogram, Registry};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, SimTime};
 
 use crate::cache::ResultCache;
+use crate::config::ServiceConfig;
 use crate::epoch::{EpochStore, SnapshotEpoch};
+use crate::error::ServiceError;
 
 /// Upper bound on how many queued queries one worker folds into a batch.
 const MAX_BATCH: usize = 64;
-
-/// Configuration of the verification service.
-#[derive(Debug, Clone)]
-pub struct ServiceConfig {
-    /// Number of worker threads (minimum 1).
-    pub workers: usize,
-    /// Whether the `(serial, client, spec)` result cache is consulted.
-    pub cache_enabled: bool,
-    /// Whether workers maintain their HSA model incrementally from epoch
-    /// deltas (and the cache invalidates per affected query) instead of
-    /// rebuilding from scratch on every epoch advance. History-mode
-    /// verification always uses the full-rebuild path regardless.
-    pub incremental: bool,
-    /// How many per-epoch deltas the store retains for delta sync.
-    pub max_delta_history: usize,
-    /// Verifier configuration shared by every worker.
-    pub verifier: VerifierConfig,
-}
-
-impl ServiceConfig {
-    /// Sensible defaults: 4 workers, caching on, incremental updates on,
-    /// 64 retained deltas.
-    #[must_use]
-    pub fn new(verifier: VerifierConfig) -> Self {
-        ServiceConfig {
-            workers: 4,
-            cache_enabled: true,
-            incremental: true,
-            max_delta_history: 64,
-            verifier,
-        }
-    }
-
-    /// Overrides the worker count (builder style).
-    #[must_use]
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
-        self
-    }
-
-    /// Enables or disables the result cache (builder style).
-    #[must_use]
-    pub fn with_cache(mut self, enabled: bool) -> Self {
-        self.cache_enabled = enabled;
-        self
-    }
-
-    /// Enables or disables the incremental verification engine (builder
-    /// style). Disabling reproduces the full-rebuild architecture, which the
-    /// benchmarks use as their baseline.
-    #[must_use]
-    pub fn with_incremental(mut self, enabled: bool) -> Self {
-        self.incremental = enabled;
-        self
-    }
-}
 
 /// A completed query, as delivered back to the submitter.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,12 +74,22 @@ impl QueryTicket {
     ///
     /// # Panics
     ///
-    /// Panics if the service was shut down before answering.
+    /// Panics if the service was shut down before answering; the served
+    /// network path uses [`QueryTicket::try_wait`] instead.
     #[must_use]
     pub fn wait(self) -> QueryResponse {
-        self.rx
-            .recv()
+        self.try_wait()
             .expect("verification service dropped the query")
+    }
+
+    /// Blocks until the worker delivers the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::QueryDropped`] if the service shut down
+    /// before answering.
+    pub fn try_wait(self) -> Result<QueryResponse, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::QueryDropped)
     }
 }
 
@@ -291,15 +247,15 @@ impl VerificationService {
         config: ServiceConfig,
         registry: Arc<Registry>,
     ) -> Self {
-        let store = Arc::new(EpochStore::new(config.max_delta_history.max(1)));
+        let store = Arc::new(EpochStore::new(config.settings.max_delta_history.max(1)));
         store.attach_shadow_telemetry(&registry);
-        let cache = Arc::new(ResultCache::with_registry(config.cache_enabled, &registry));
+        let cache = Arc::new(ResultCache::with_registry(config.settings.cache, &registry));
         let metrics = Arc::new(ServiceMetrics::new(&registry));
         // History-mode verification folds recently *removed* rules into the
         // model; the incremental mirror tracks only installed state, so that
         // mode keeps the rebuild path.
-        let incremental = config.incremental && !config.verifier.use_history;
-        let worker_count = config.workers.max(1);
+        let incremental = config.settings.incremental && !config.verifier.use_history;
+        let worker_count = config.settings.workers.max(1);
         metrics.workers.set(worker_count as i64);
         let mut senders = Vec::with_capacity(worker_count);
         let mut workers = Vec::with_capacity(worker_count);
@@ -370,11 +326,32 @@ impl VerificationService {
     /// answering against the epoch they started with. Cached results the
     /// delta cannot affect stay valid (when the incremental engine is on);
     /// the rest are invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the epoch store rejects the publish (serial space
+    /// exhausted); the served network path uses
+    /// [`VerificationService::try_publish`] instead.
     pub fn publish(&self, snapshot: &NetworkSnapshot, at: SimTime) -> u64 {
+        self.try_publish(snapshot, at)
+            .expect("epoch publish failed")
+    }
+
+    /// Fallible form of [`VerificationService::publish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PublishRejected`] when the epoch store cannot
+    /// accept another epoch.
+    pub fn try_publish(
+        &self,
+        snapshot: &NetworkSnapshot,
+        at: SimTime,
+    ) -> Result<u64, ServiceError> {
         self.metrics.epochs_published.inc();
         let published = {
             let _span = self.metrics.stage_publish.span();
-            self.store.publish(snapshot.clone(), at)
+            self.store.try_publish(snapshot.clone(), at)?
         };
         self.metrics
             .epoch_serial
@@ -395,24 +372,50 @@ impl VerificationService {
         } else {
             self.cache.advance(published.serial, |_, _| true);
         }
-        published.serial
+        Ok(published.serial)
     }
 
     /// Enqueues a query on its client's worker shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is shutting down; the served network path uses
+    /// [`VerificationService::try_submit`] instead.
     #[must_use]
     pub fn submit(&self, client: ClientId, spec: QuerySpec) -> QueryTicket {
+        self.try_submit(client, spec)
+            .expect("verification worker hung up")
+    }
+
+    /// Enqueues a query on its client's worker shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PoolUnavailable`] if the shard's worker has
+    /// hung up (the service is shutting down or the thread died).
+    pub fn try_submit(
+        &self,
+        client: ClientId,
+        spec: QuerySpec,
+    ) -> Result<QueryTicket, ServiceError> {
         let (tx, rx) = mpsc::channel();
         self.metrics.queue_depth.inc();
         let shard = client.0 as usize % self.senders.len();
-        self.senders[shard]
+        if self.senders[shard]
             .send(WorkerMsg::Query(QueryJob {
                 client,
                 spec,
                 submitted: Instant::now(),
                 reply: tx,
             }))
-            .expect("verification worker hung up");
-        QueryTicket { rx }
+            .is_err()
+        {
+            self.metrics.queue_depth.dec();
+            return Err(ServiceError::PoolUnavailable {
+                context: "query submit",
+            });
+        }
+        Ok(QueryTicket { rx })
     }
 
     /// Submits and waits: the synchronous convenience the controller
@@ -420,6 +423,21 @@ impl VerificationService {
     #[must_use]
     pub fn query(&self, client: ClientId, spec: QuerySpec) -> QueryResponse {
         self.submit(client, spec).wait()
+    }
+
+    /// Submits and waits, reporting shutdown races as errors instead of
+    /// panicking — what the daemon's network handlers call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PoolUnavailable`] or
+    /// [`ServiceError::QueryDropped`] when the pool cannot answer.
+    pub fn try_query(
+        &self,
+        client: ClientId,
+        spec: QuerySpec,
+    ) -> Result<QueryResponse, ServiceError> {
+        self.try_submit(client, spec)?.try_wait()
     }
 
     /// Submits a whole workload and waits for every response (in submission
@@ -431,6 +449,24 @@ impl VerificationService {
             .map(|(client, spec)| self.submit(*client, spec.clone()))
             .collect();
         tickets.into_iter().map(QueryTicket::wait).collect()
+    }
+
+    /// Fallible form of [`VerificationService::query_all`]: submits
+    /// everything before waiting (so one worker answers the whole set as a
+    /// batch), failing as a unit if the pool goes away.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ServiceError`] hit while submitting or waiting.
+    pub fn try_query_all(
+        &self,
+        queries: &[(ClientId, QuerySpec)],
+    ) -> Result<Vec<QueryResponse>, ServiceError> {
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .map(|(client, spec)| self.try_submit(*client, spec.clone()))
+            .collect::<Result<_, _>>()?;
+        tickets.into_iter().map(QueryTicket::try_wait).collect()
     }
 
     /// A point-in-time copy of the activity counters.
@@ -599,7 +635,7 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvaas::LocationMap;
+    use rvaas::{LocationMap, VerifierConfig};
     use rvaas_controlplane::benign_rules;
     use rvaas_topology::generators;
 

@@ -19,11 +19,14 @@ use std::sync::{Arc, Mutex};
 
 use rvaas::{query_affected, ChangedRegion};
 use rvaas_client::QuerySpec;
-use rvaas_client::{ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse};
+use rvaas_client::{
+    decode_inband, InbandMessage, ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse,
+};
 use rvaas_telemetry::{Counter, Histogram, Registry};
 use rvaas_types::ClientId;
 
 use crate::epoch::EpochStore;
+use crate::error::ServiceError;
 use crate::pool::VerificationService;
 
 /// Per-client server-side session state.
@@ -113,8 +116,52 @@ impl SyncServer {
 
     /// Answers one sync request. `service` is consulted to re-verify the
     /// client's standing queries when a delta is served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shuts down mid-reverification; the daemon's
+    /// listener uses [`SyncServer::try_handle`].
     #[must_use]
     pub fn handle(&self, service: &VerificationService, request: &SyncRequest) -> SyncResponse {
+        self.try_handle(service, request)
+            .expect("sync reverification dropped")
+    }
+
+    /// Answers one raw sync frame, as read off a TCP connection: decodes the
+    /// in-band message, dispatches it, and encodes the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::VersionMismatch`] when the peer speaks an
+    /// unsupported sync-protocol major version (the daemon answers with a
+    /// `SyncReject`), [`ServiceError::Codec`] for undecodable bytes or a
+    /// message that is not a [`SyncRequest`], and propagates
+    /// [`SyncServer::try_handle`] failures.
+    pub fn handle_frame(
+        &self,
+        service: &VerificationService,
+        frame: &[u8],
+    ) -> Result<Vec<u8>, ServiceError> {
+        match decode_inband(frame)? {
+            InbandMessage::SyncRequest(request) => Ok(self.try_handle(service, &request)?.encode()),
+            other => Err(ServiceError::Codec(rvaas_types::Error::codec(format!(
+                "sync endpoint expects a SyncRequest, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Fallible form of [`SyncServer::handle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PoolUnavailable`] or
+    /// [`ServiceError::QueryDropped`] when the worker pool cannot re-verify
+    /// the client's standing queries.
+    pub fn try_handle(
+        &self,
+        service: &VerificationService,
+        request: &SyncRequest,
+    ) -> Result<SyncResponse, ServiceError> {
         let current = self.store.current();
         // A client with no state, from another session, or whose serial the
         // history no longer covers gets the full digest set.
@@ -124,7 +171,7 @@ impl SyncServer {
         } else {
             self.store.delta_since(request.have_serial)
         };
-        match delta {
+        Ok(match delta {
             None => SyncResponse {
                 session: self.session_id,
                 serial: current.serial,
@@ -138,7 +185,7 @@ impl SyncServer {
                 payload: SyncPayload::Unchanged,
             },
             Some(delta) => {
-                let reverified = self.reverify(service, request.client, &delta.changed);
+                let reverified = self.reverify(service, request.client, &delta.changed)?;
                 SyncResponse {
                     session: self.session_id,
                     serial: delta.to_serial,
@@ -149,7 +196,7 @@ impl SyncServer {
                     },
                 }
             }
-        }
+        })
     }
 
     fn reverify(
@@ -157,7 +204,7 @@ impl SyncServer {
         service: &VerificationService,
         client: ClientId,
         changed: &ChangedRegion,
-    ) -> Vec<ReverifiedQuery> {
+    ) -> Result<Vec<ReverifiedQuery>, ServiceError> {
         let _span = self.reverify_latency.span();
         let specs: Vec<QuerySpec> = {
             let sessions = self
@@ -186,21 +233,21 @@ impl SyncServer {
         // Submit everything before waiting so the worker answers the whole
         // subscription set as one batch (shared evaluator), instead of one
         // blocking round-trip per standing query.
-        service
-            .query_all(&workload)
+        Ok(service
+            .try_query_all(&workload)?
             .into_iter()
             .map(|response| ReverifiedQuery {
                 spec: response.spec,
                 result: response.result,
             })
-            .collect()
+            .collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pool::ServiceConfig;
+    use crate::config::ServiceConfig;
     use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
     use rvaas_client::{QueryResult, SyncSession};
     use rvaas_controlplane::benign_rules;
@@ -219,7 +266,7 @@ mod tests {
             locations: LocationMap::disclosed(&topology),
         })
         .with_workers(2);
-        config.max_delta_history = max_deltas;
+        config.settings.max_delta_history = max_deltas;
         let service = VerificationService::new(topology, config);
         service.publish(&snapshot, SimTime::from_millis(1));
         let server = SyncServer::new(service.store(), 42);

@@ -39,6 +39,15 @@ pub enum Error {
     AttestationFailed(String),
     /// A message could not be decoded.
     Codec(String),
+    /// A peer spoke a wire-protocol major version this side does not
+    /// implement. Carries both versions so the rejecting side can offer the
+    /// one it supports (version negotiation).
+    UnsupportedVersion {
+        /// The highest protocol version this side speaks.
+        supported: u8,
+        /// The version the peer sent.
+        got: u8,
+    },
     /// A query referred to an unsupported or malformed predicate.
     InvalidQuery(String),
     /// A flow-table modification was rejected (e.g. table full, bad match).
@@ -65,6 +74,14 @@ impl fmt::Display for Error {
             Error::AuthenticationFailed(why) => write!(f, "authentication failed: {why}"),
             Error::AttestationFailed(why) => write!(f, "attestation failed: {why}"),
             Error::Codec(why) => write!(f, "codec error: {why}"),
+            Error::UnsupportedVersion { supported, got } => write!(
+                f,
+                "unsupported protocol version {}.{} (this side speaks {}.{})",
+                got >> 4,
+                got & 0x0f,
+                supported >> 4,
+                supported & 0x0f
+            ),
             Error::InvalidQuery(why) => write!(f, "invalid query: {why}"),
             Error::FlowModRejected(why) => write!(f, "flow modification rejected: {why}"),
             Error::LimitExceeded(why) => write!(f, "limit exceeded: {why}"),

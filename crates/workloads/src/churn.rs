@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
 use rvaas_client::SyncSession;
 use rvaas_openflow::{Action, FlowEntry, FlowMatch};
-use rvaas_service::{ServiceConfig, SyncServer, VerificationService};
+use rvaas_service::{ServiceSettings, SyncServer, VerificationService};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, Field, SimTime, SwitchId};
 
@@ -209,12 +209,15 @@ pub fn run_incremental_churn(
 ) -> IncrementalChurnReport {
     let service = VerificationService::new(
         topology.clone(),
-        ServiceConfig::new(VerifierConfig {
+        ServiceSettings {
+            workers: config.workers,
+            incremental: config.incremental,
+            ..ServiceSettings::default()
+        }
+        .into_config(VerifierConfig {
             use_history: false,
             locations: LocationMap::disclosed(topology),
-        })
-        .with_workers(config.workers)
-        .with_incremental(config.incremental),
+        }),
     );
     let mut snapshot = benign_snapshot(topology);
     service.publish(&snapshot, SimTime::from_millis(1));

@@ -7,7 +7,7 @@ use rvaas_client::{
 use rvaas_controlplane::{ProviderController, ScheduledAttack};
 use rvaas_crypto::{Keypair, SignatureScheme};
 use rvaas_netsim::{Network, NetworkConfig};
-use rvaas_service::{ServiceBackend, ServiceConfig};
+use rvaas_service::{ServiceBackend, ServiceSettings};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, HostId, SimTime};
 
@@ -127,7 +127,11 @@ impl ScenarioBuilder {
             Some(workers) => {
                 let backend = ServiceBackend::new(
                     self.topology.clone(),
-                    ServiceConfig::new(rvaas_config.verifier.clone()).with_workers(workers),
+                    ServiceSettings {
+                        workers,
+                        ..ServiceSettings::default()
+                    }
+                    .into_config(rvaas_config.verifier.clone()),
                 );
                 RvaasController::with_backend(rvaas_config, keypair, Box::new(backend))
             }

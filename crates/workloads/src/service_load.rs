@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
 use rvaas_client::QuerySpec;
 use rvaas_controlplane::benign_rules;
-use rvaas_service::{ServiceConfig, VerificationService};
+use rvaas_service::{ServiceSettings, VerificationService};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, SimTime, SwitchId};
 
@@ -151,12 +151,15 @@ pub fn churn_round(snapshot: &mut NetworkSnapshot, round: u64, count: usize, at:
 pub fn run_service_load(topology: &Topology, config: &ServiceLoadConfig) -> ServiceLoadReport {
     let service = VerificationService::new(
         topology.clone(),
-        ServiceConfig::new(VerifierConfig {
+        ServiceSettings {
+            workers: config.workers,
+            cache: config.cache_enabled,
+            ..ServiceSettings::default()
+        }
+        .into_config(VerifierConfig {
             use_history: false,
             locations: LocationMap::disclosed(topology),
-        })
-        .with_workers(config.workers)
-        .with_cache(config.cache_enabled),
+        }),
     );
     let mut snapshot = benign_snapshot(topology);
     service.publish(&snapshot, SimTime::from_millis(1));
