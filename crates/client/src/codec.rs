@@ -124,6 +124,24 @@ impl<'a> ByteReader<'a> {
         String::from_utf8(bytes).map_err(|_| Error::codec("invalid utf-8 string"))
     }
 
+    /// Reads a u32 element count and validates it against the bytes actually
+    /// left in the buffer: a count of `n` is only plausible when at least
+    /// `n * min_elem_size` bytes follow. Decoders must call this instead of
+    /// `get_u32` before any `Vec::with_capacity(count)` — otherwise a
+    /// four-byte prefix in a hostile frame can demand a multi-gigabyte
+    /// allocation before the first element read fails.
+    pub fn get_count(&mut self, min_elem_size: usize) -> Result<usize> {
+        let count = self.get_u32()? as usize;
+        let need = count.saturating_mul(min_elem_size.max(1));
+        if need > self.remaining() {
+            return Err(Error::codec(format!(
+                "implausible element count {count}: needs at least {need} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
     /// Number of unread bytes.
     #[must_use]
     pub fn remaining(&self) -> usize {
@@ -162,6 +180,30 @@ mod tests {
         assert!(r.get_u32().is_err());
         let mut r = ByteReader::new(&[0, 0, 0, 10, 1, 2]);
         assert!(r.get_bytes().is_err(), "length prefix larger than buffer");
+    }
+
+    #[test]
+    fn implausible_counts_are_rejected_before_allocation() {
+        // A 4-byte buffer claiming u32::MAX eight-byte elements: get_count
+        // must fail instead of letting a decoder reserve 32 GiB.
+        let huge = u32::MAX.to_be_bytes();
+        let mut r = ByteReader::new(&huge);
+        assert!(r.get_count(8).is_err());
+
+        // A plausible count passes and consumes exactly the prefix.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u64(1);
+        w.put_u64(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_count(8).unwrap(), 2);
+        assert_eq!(r.get_u64().unwrap(), 1);
+
+        // Zero-size elements never divide by zero.
+        let zero = 0u32.to_be_bytes();
+        let mut r = ByteReader::new(&zero);
+        assert_eq!(r.get_count(0).unwrap(), 0);
     }
 
     #[test]

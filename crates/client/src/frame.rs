@@ -8,7 +8,10 @@
 //! the payload).
 //!
 //! The reader enforces [`MAX_FRAME_LEN`] so a hostile peer cannot make the
-//! server allocate unbounded memory from a four-byte prefix.
+//! server allocate unbounded memory from a four-byte prefix. Failures are
+//! reported as the typed [`FrameError`] so callers can tell an oversized
+//! peer from a torn stream from a plain transport failure without string
+//! matching.
 
 use std::io::{self, Read, Write};
 
@@ -17,35 +20,113 @@ use std::io::{self, Read, Write};
 /// connection hold the heap hostage.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length prefix (read side) or the payload (write side) exceeds
+    /// [`MAX_FRAME_LEN`]. Nothing is allocated for such a frame.
+    Oversized {
+        /// The offending length.
+        len: usize,
+    },
+    /// The stream ended mid-prefix or mid-payload: the peer disconnected
+    /// with a frame in flight.
+    Torn {
+        /// How many more bytes the frame still owed.
+        missing: usize,
+    },
+    /// Underlying transport failure (including retryable read timeouts).
+    Io(io::Error),
+}
+
+impl FrameError {
+    /// True when retrying the read is safe and may succeed: a timeout
+    /// (`WouldBlock`/`TimedOut`) fired before any byte of the frame was
+    /// consumed.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+                )
+            }
+            FrameError::Torn { missing } => {
+                write!(f, "stream ended mid-frame ({missing} bytes missing)")
+            }
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Oversized { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+            }
+            FrameError::Torn { .. } => io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()),
+            FrameError::Io(inner) => inner,
+        }
+    }
+}
+
 /// Writes one length-prefixed frame and flushes the stream.
 ///
 /// # Errors
 ///
-/// Returns an error when `payload` exceeds [`MAX_FRAME_LEN`] or the
+/// Returns [`FrameError::Oversized`] when `payload` exceeds
+/// [`MAX_FRAME_LEN`] (nothing is written), or [`FrameError::Io`] when the
 /// underlying writer fails.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
     if payload.len() > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
-        ));
+        return Err(FrameError::Oversized { len: payload.len() });
     }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads one length-prefixed frame.
 ///
 /// Returns `Ok(None)` on a clean end of stream (the peer closed between
-/// frames). A timeout error (`WouldBlock`/`TimedOut`) before the first
-/// length byte arrives is safe to retry: nothing has been consumed.
+/// frames). A timeout before the first length byte arrives surfaces as a
+/// retryable [`FrameError::Io`] (see [`FrameError::is_retryable`]): nothing
+/// has been consumed.
 ///
 /// # Errors
 ///
-/// Returns an error on a mid-frame disconnect, an oversized length prefix,
-/// or any other I/O failure.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+/// Returns [`FrameError::Torn`] on a mid-frame disconnect,
+/// [`FrameError::Oversized`] for a length prefix beyond [`MAX_FRAME_LEN`]
+/// (rejected before any payload allocation), or [`FrameError::Io`] for any
+/// other I/O failure.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     let mut len_buf = [0u8; 4];
     // Distinguish "no frame" (clean EOF / retryable timeout before any byte)
     // from "torn frame" (EOF after a partial prefix).
@@ -53,17 +134,34 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     if first == 0 {
         return Ok(None);
     }
-    r.read_exact(&mut len_buf[first..])?;
+    read_exactly(r, &mut len_buf[first..])?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length prefix {len} exceeds MAX_FRAME_LEN"),
-        ));
+        return Err(FrameError::Oversized { len });
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    read_exactly(r, &mut payload)?;
     Ok(Some(payload))
+}
+
+/// `read_exact` with EOF mapped to [`FrameError::Torn`]: once any byte of a
+/// frame has been consumed, running out of stream is a protocol violation,
+/// not a clean close.
+fn read_exactly<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Torn {
+                    missing: buf.len() - filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -90,7 +188,32 @@ mod tests {
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut r = Cursor::new(buf);
         let err = read_frame(&mut r).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, FrameError::Oversized { len } if len == u32::MAX as usize));
+        // The typed error converts to the io::Error the seed returned.
+        assert_eq!(io::Error::from(err).kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_exactly_at_the_guard_is_accepted() {
+        // len == MAX_FRAME_LEN is legal: the guard rejects strictly larger.
+        let payload = vec![0xA5u8; MAX_FRAME_LEN];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = Cursor::new(buf);
+        let back = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(back.len(), MAX_FRAME_LEN);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn frame_one_past_the_guard_is_rejected() {
+        // A prefix of exactly MAX_FRAME_LEN + 1 must fail even though the
+        // declared payload never follows: the guard fires before allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { len } if len == MAX_FRAME_LEN + 1));
     }
 
     #[test]
@@ -99,18 +222,41 @@ mod tests {
         write_frame(&mut buf, b"payload").unwrap();
         buf.truncate(buf.len() - 3);
         let mut r = Cursor::new(buf);
-        assert!(read_frame(&mut r).is_err());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Torn { missing: 3 })
+        ));
+    }
 
-        // A torn length prefix is also an error.
-        let mut r = Cursor::new(vec![0u8, 0]);
-        assert!(read_frame(&mut r).is_err());
+    #[test]
+    fn truncated_length_prefix_is_torn() {
+        // One, two and three header bytes: all torn, never clean EOF.
+        for partial in 1..4usize {
+            let mut r = Cursor::new(vec![0u8; partial]);
+            let err = read_frame(&mut r).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Torn { missing } if missing == 4 - partial),
+                "{partial}-byte header gave {err:?}"
+            );
+        }
     }
 
     #[test]
     fn oversized_write_is_rejected() {
         let mut sink = Vec::new();
         let too_big = vec![0u8; MAX_FRAME_LEN + 1];
-        assert!(write_frame(&mut sink, &too_big).is_err());
+        let err = write_frame(&mut sink, &too_big).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { len } if len == MAX_FRAME_LEN + 1));
         assert!(sink.is_empty(), "nothing may be written for a bad frame");
+    }
+
+    #[test]
+    fn retryable_timeouts_are_recognised() {
+        let timeout = FrameError::Io(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+        assert!(timeout.is_retryable());
+        let torn = FrameError::Torn { missing: 1 };
+        assert!(!torn.is_retryable());
+        let hard = FrameError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "gone"));
+        assert!(!hard.is_retryable());
     }
 }

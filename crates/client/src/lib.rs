@@ -35,7 +35,7 @@ pub mod protocol;
 pub mod sync;
 
 pub use agent::{ClientAgent, ClientAgentConfig, VerifiedReply};
-pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use protocol::{
     auth_reply_packet, auth_request_packet, decode_inband, query_packet, reply_packet, AuthReply,
     AuthRequest, EndpointReport, InbandMessage, NeutralityViolation, QueryReply, QueryRequest,

@@ -404,7 +404,8 @@ impl QueryResult {
                 foreign_endpoints: decode_endpoints(r)?,
             },
             4 => {
-                let n = r.get_u32()? as usize;
+                // Each region is at least its 4-byte length prefix.
+                let n = r.get_count(4)?;
                 let mut regions = Vec::with_capacity(n);
                 for _ in 0..n {
                     regions.push(r.get_str()?);
@@ -418,7 +419,8 @@ impl QueryResult {
             },
             6 => {
                 let fair = r.get_u8()? != 0;
-                let n = r.get_u32()? as usize;
+                // A violation is two u32 client ids plus two u64 rates.
+                let n = r.get_count(24)?;
                 let mut violations = Vec::with_capacity(n);
                 for _ in 0..n {
                     violations.push(NeutralityViolation {
@@ -448,7 +450,9 @@ fn encode_endpoints(endpoints: &[EndpointReport], w: &mut ByteWriter) {
 }
 
 fn decode_endpoints(r: &mut ByteReader<'_>) -> Result<Vec<EndpointReport>> {
-    let n = r.get_u32()? as usize;
+    // An endpoint report is two u32s plus a flag byte: bound the claimed
+    // count by the bytes present before reserving the output vector.
+    let n = r.get_count(9)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(EndpointReport {

@@ -170,7 +170,9 @@ fn encode_digests(digests: &[FlowDigest], w: &mut ByteWriter) {
 }
 
 fn decode_digests(r: &mut ByteReader<'_>) -> Result<Vec<FlowDigest>> {
-    let n = r.get_u32()? as usize;
+    // get_count bounds the claimed digest count by the bytes actually present
+    // (8 per digest), so a hostile 4-byte prefix cannot demand gigabytes.
+    let n = r.get_count(8)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(FlowDigest(r.get_u64()?));
@@ -250,7 +252,8 @@ impl SyncResponse {
             PAYLOAD_DELTA => {
                 let added = decode_digests(r)?;
                 let removed = decode_digests(r)?;
-                let n = r.get_u32()? as usize;
+                // A reverified entry is at least a spec tag + a result tag.
+                let n = r.get_count(2)?;
                 let mut reverified = Vec::with_capacity(n);
                 for _ in 0..n {
                     reverified.push(ReverifiedQuery {

@@ -64,6 +64,72 @@ pub enum Attack {
         /// The discriminatory rate limit in kbit/s.
         rate_kbps: u64,
     },
+    /// Stale-epoch replay (service plane): blackhole the victim's traffic
+    /// while replaying captured pre-attack sync responses to clients, hoping
+    /// they keep trusting the clean epoch. The data-plane half compiles
+    /// here; the replay half is pure recorded traffic, so the ground truth
+    /// is that a sound sync client rejects the replay (session/serial
+    /// checks) and converges to the server's real digest set.
+    StaleEpochReplay {
+        /// The host whose traffic is dropped behind the replayed epoch.
+        victim_host: HostId,
+    },
+    /// Mirror-desync induction (service plane): send removals for rules that
+    /// were never installed, trying to desynchronise the verifier's
+    /// incremental model from the real network. A sound verifier must notice
+    /// (unknown removal), fall back to conservative re-verification and
+    /// recover by rebuilding — never silently diverge.
+    MirrorDesync {
+        /// The host whose flow rules the phantom removals claim to delete.
+        victim_host: HostId,
+        /// How many phantom removals to send.
+        phantom_rules: u32,
+    },
+    /// Cross-epoch cache-poisoning probe (service plane): toggle a
+    /// verdict-changing rule on and off across consecutive epochs so that a
+    /// service answering from a stale per-epoch cache returns the verdict of
+    /// the *wrong* epoch. Ground truth: every answer equals a fresh
+    /// full-rebuild answer for the epoch it was issued in.
+    CachePoison {
+        /// The host whose reachability the toggled rule flips.
+        victim_host: HostId,
+    },
+    /// Worst-case `ChangedRegion` churn flood (service plane): install many
+    /// distinct high-priority rules on one switch in a single epoch, making
+    /// per-rule delta processing maximally expensive. Ground truth: the
+    /// epoch store's bulk-rebuild heuristic must trip, and verdicts must
+    /// still match a from-scratch rebuild.
+    ChurnFlood {
+        /// The switch receiving the flood.
+        switch: SwitchId,
+        /// How many distinct rules to install.
+        rules: u32,
+    },
+}
+
+/// The soundness property a verification service must uphold under a
+/// service-plane attack. [`Attack::service_plane_expectation`] maps each
+/// attack to its predicate; the integration suite asserts every one of
+/// them against a full-rebuild oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServicePlaneExpectation {
+    /// Replayed stale sync responses must not roll a client back: session
+    /// and serial checks reject the replay and the client converges to the
+    /// server's current digest set.
+    ReplayRejected,
+    /// Phantom removals must drive the incremental model into its
+    /// desynchronised, conservative mode — and verdicts must still match a
+    /// from-scratch rebuild before and after recovery.
+    DesyncConservative,
+    /// Queries answered from per-epoch caches must equal fresh full-rebuild
+    /// answers in *every* epoch the attack toggles through.
+    CacheConsistent,
+    /// The single-epoch rule flood must trip the bulk-rebuild heuristic
+    /// instead of degenerating into per-rule delta work.
+    BulkRebuild {
+        /// Minimum number of rule changes the flood injects.
+        min_changes: u32,
+    },
 }
 
 impl Attack {
@@ -90,6 +156,33 @@ impl Attack {
                 victim_client,
                 rate_kbps,
             } => compile_throttle(topology, *victim_client, *rate_kbps),
+            // The replayed sync traffic is recorded, not compiled; the
+            // data-plane change being masked is a plain blackhole.
+            Attack::StaleEpochReplay { victim_host } => compile_blackhole(topology, *victim_host),
+            Attack::MirrorDesync {
+                victim_host,
+                phantom_rules,
+            } => compile_mirror_desync(topology, *victim_host, *phantom_rules),
+            // The toggled rule is a verdict-flipping drop; the epoch-by-epoch
+            // toggling itself is driven through `compile_removal` by the
+            // scheduler (see `ScheduledAttack::flapping`).
+            Attack::CachePoison { victim_host } => compile_blackhole(topology, *victim_host),
+            Attack::ChurnFlood { switch, rules } => compile_churn_flood(topology, *switch, *rules),
+        }
+    }
+
+    /// The service-plane soundness predicate this attack probes, if it is a
+    /// service-plane attack (`None` for the purely data-plane catalogue).
+    #[must_use]
+    pub fn service_plane_expectation(&self) -> Option<ServicePlaneExpectation> {
+        match self {
+            Attack::StaleEpochReplay { .. } => Some(ServicePlaneExpectation::ReplayRejected),
+            Attack::MirrorDesync { .. } => Some(ServicePlaneExpectation::DesyncConservative),
+            Attack::CachePoison { .. } => Some(ServicePlaneExpectation::CacheConsistent),
+            Attack::ChurnFlood { rules, .. } => Some(ServicePlaneExpectation::BulkRebuild {
+                min_changes: *rules,
+            }),
+            _ => None,
         }
     }
 
@@ -124,6 +217,10 @@ impl Attack {
             Attack::Exfiltrate { .. } => "exfiltrate",
             Attack::Blackhole { .. } => "blackhole",
             Attack::Throttle { .. } => "throttle",
+            Attack::StaleEpochReplay { .. } => "stale_epoch_replay",
+            Attack::MirrorDesync { .. } => "mirror_desync",
+            Attack::CachePoison { .. } => "cache_poison",
+            Attack::ChurnFlood { .. } => "churn_flood",
         }
     }
 }
@@ -368,6 +465,57 @@ fn compile_throttle(
     out
 }
 
+fn compile_mirror_desync(
+    topology: &Topology,
+    victim_host: HostId,
+    phantom_rules: u32,
+) -> Vec<(SwitchId, Message)> {
+    let Some(victim) = topology.host(victim_host) else {
+        return Vec::new();
+    };
+    // Removals for rules that were never installed: same shape as real
+    // delivery rules (so they look plausible to the control channel) but
+    // distinguished by transport ports no benign rule constrains.
+    (0..phantom_rules)
+        .map(|i| {
+            (
+                victim.attachment.switch,
+                Message::FlowMod {
+                    command: FlowModCommand::Delete {
+                        flow_match: FlowMatch::to_ip(victim.ip)
+                            .field(Field::L4Dst, u64::from(50_000 + (i % 10_000))),
+                    },
+                },
+            )
+        })
+        .collect()
+}
+
+fn compile_churn_flood(
+    topology: &Topology,
+    switch: SwitchId,
+    rules: u32,
+) -> Vec<(SwitchId, Message)> {
+    if !topology.switches().any(|s| s.id == switch) {
+        return Vec::new();
+    }
+    // Distinct destination addresses in a block no host occupies: every
+    // rule is a separate digest, so one epoch carries `rules` changes.
+    (0..rules)
+        .map(|i| {
+            add(
+                switch,
+                FlowEntry::new(
+                    PRIO_ATTACK,
+                    FlowMatch::to_ip(0xc0a8_0000 + i),
+                    vec![Action::Drop],
+                )
+                .with_cookie(ATTACK_COOKIE),
+            )
+        })
+        .collect()
+}
+
 /// An attack bound to a point in time, with optional flapping behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledAttack {
@@ -565,5 +713,124 @@ mod tests {
         }
         .compile(&topo)
         .is_empty());
+        assert!(Attack::MirrorDesync {
+            victim_host: HostId(99),
+            phantom_rules: 4
+        }
+        .compile(&topo)
+        .is_empty());
+        assert!(Attack::ChurnFlood {
+            switch: SwitchId(99),
+            rules: 4
+        }
+        .compile(&topo)
+        .is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_replay_masks_a_blackhole() {
+        let topo = generators::line(3, 1);
+        let replay = Attack::StaleEpochReplay {
+            victim_host: HostId(2),
+        };
+        // The data-plane half is exactly a blackhole of the victim...
+        assert_eq!(
+            replay.compile(&topo),
+            Attack::Blackhole {
+                victim_host: HostId(2)
+            }
+            .compile(&topo)
+        );
+        // ...but the ground-truth predicate is about the sync protocol.
+        assert_eq!(
+            replay.service_plane_expectation(),
+            Some(ServicePlaneExpectation::ReplayRejected)
+        );
+        assert_eq!(replay.label(), "stale_epoch_replay");
+    }
+
+    #[test]
+    fn mirror_desync_compiles_phantom_removals_only() {
+        let topo = generators::line(3, 1);
+        let attack = Attack::MirrorDesync {
+            victim_host: HostId(2),
+            phantom_rules: 5,
+        };
+        let msgs = attack.compile(&topo);
+        assert_eq!(msgs.len(), 5);
+        let victim_switch = topo.host(HostId(2)).unwrap().attachment.switch;
+        for (switch, message) in &msgs {
+            assert_eq!(*switch, victim_switch);
+            assert!(
+                matches!(
+                    message,
+                    Message::FlowMod {
+                        command: FlowModCommand::Delete { .. }
+                    }
+                ),
+                "phantom removals must be deletes, got {message:?}"
+            );
+        }
+        // Nothing was added, so there is nothing to remove.
+        assert!(attack.compile_removal(&topo).is_empty());
+        assert_eq!(
+            attack.service_plane_expectation(),
+            Some(ServicePlaneExpectation::DesyncConservative)
+        );
+    }
+
+    #[test]
+    fn churn_flood_installs_distinct_rules_on_one_switch() {
+        let topo = generators::line(3, 1);
+        let attack = Attack::ChurnFlood {
+            switch: SwitchId(2),
+            rules: 80,
+        };
+        let msgs = attack.compile(&topo);
+        assert_eq!(msgs.len(), 80);
+        let mut matches = std::collections::BTreeSet::new();
+        for (switch, message) in &msgs {
+            assert_eq!(*switch, SwitchId(2));
+            match message {
+                Message::FlowMod {
+                    command: FlowModCommand::Add(entry),
+                } => {
+                    assert_eq!(entry.cookie, ATTACK_COOKIE);
+                    assert!(matches.insert(format!("{:?}", entry.flow_match)));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(matches.len(), 80, "every flood rule is distinct");
+        assert_eq!(
+            attack.service_plane_expectation(),
+            Some(ServicePlaneExpectation::BulkRebuild { min_changes: 80 })
+        );
+        // The flood is fully removable by cookie.
+        assert_eq!(attack.compile_removal(&topo).len(), 80);
+    }
+
+    #[test]
+    fn cache_poison_toggles_a_verdict_flipping_rule() {
+        let topo = generators::line(3, 1);
+        let attack = Attack::CachePoison {
+            victim_host: HostId(2),
+        };
+        let install = attack.compile(&topo);
+        assert_eq!(install.len(), 1, "one verdict-flipping rule");
+        let removal = attack.compile_removal(&topo);
+        assert_eq!(removal.len(), 1, "and it toggles back off");
+        assert_eq!(
+            attack.service_plane_expectation(),
+            Some(ServicePlaneExpectation::CacheConsistent)
+        );
+        // The legacy data-plane attacks carry no service-plane predicate.
+        assert_eq!(
+            Attack::Blackhole {
+                victim_host: HostId(2)
+            }
+            .service_plane_expectation(),
+            None
+        );
     }
 }

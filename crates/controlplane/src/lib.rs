@@ -27,6 +27,6 @@ pub mod attack;
 pub mod controller;
 pub mod routing;
 
-pub use attack::{Attack, ScheduledAttack};
+pub use attack::{Attack, ScheduledAttack, ServicePlaneExpectation};
 pub use controller::ProviderController;
 pub use routing::{benign_rules, ATTACK_COOKIE, BENIGN_COOKIE};

@@ -15,7 +15,6 @@
 //! bound how long a draining connection thread can linger, and
 //! [`Daemon::shutdown`] joins everything before returning.
 
-use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -253,8 +252,8 @@ fn serve_sync_connection(context: &ConnectionContext, stream: TcpStream) {
         let frame = match read_frame(&mut stream) {
             Ok(None) => return, // peer closed cleanly
             Ok(Some(frame)) => frame,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
-            Err(_) => return,
+            Err(e) if e.is_retryable() => continue,
+            Err(_) => return, // torn, oversized or dead: drop the connection
         };
         match context.sync_server.handle_frame(&context.service, &frame) {
             Ok(response) => {

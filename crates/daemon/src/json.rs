@@ -60,9 +60,15 @@ impl Json {
     }
 }
 
+/// Maximum nesting depth the parser accepts. The API's documents are nearly
+/// flat; the cap turns a `[[[[…` recursion bomb from a stack overflow (an
+/// abort taking the whole daemon down) into an ordinary parse error.
+pub const MAX_JSON_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -113,6 +119,28 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let value = self.object_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let value = self.array_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_JSON_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn object_body(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -138,7 +166,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array_body(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -182,9 +210,12 @@ impl<'a> Parser<'a> {
                         b'"' => out.push('"'),
                         b'\\' => out.push('\\'),
                         b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
                         b'n' => out.push('\n'),
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
                         _ => return Err(self.error("unsupported escape")),
                     }
                 }
@@ -198,6 +229,44 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// The code-unit part of a `\uXXXX` escape, positioned just past the
+    /// `u`. Handles UTF-16 surrogate pairs (`😀`); lone surrogates
+    /// are rejected — they have no scalar-value representation, so accepting
+    /// them would break render→parse round-trips.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let unit = self.hex4()?;
+        match unit {
+            0xD800..=0xDBFF => {
+                if !(self.eat_literal("\\u")) {
+                    return Err(self.error("high surrogate not followed by \\u escape"));
+                }
+                let low = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&low) {
+                    return Err(self.error("high surrogate not followed by a low surrogate"));
+                }
+                let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                char::from_u32(scalar).ok_or_else(|| self.error("invalid surrogate pair"))
+            }
+            0xDC00..=0xDFFF => Err(self.error("lone low surrogate")),
+            _ => char::from_u32(unit).ok_or_else(|| self.error("invalid \\u escape")),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("expected 4 hex digits after \\u")),
+            };
+            self.pos += 1;
+            value = value * 16 + digit;
+        }
+        Ok(value)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -224,6 +293,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let value = parser.value()?;
     parser.skip_ws();
@@ -442,6 +512,61 @@ mod tests {
         assert_eq!(items[2], Json::Bool(true));
         assert_eq!(items[3], Json::Null);
         assert_eq!(doc.get("c").unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn unicode_escapes_parse_including_surrogate_pairs() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".to_string()));
+        assert_eq!(
+            parse("\"\\u0001\"").unwrap(),
+            Json::Str("\u{1}".to_string())
+        );
+        // Astral-plane scalar via a surrogate pair (GRINNING FACE).
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("\u{1F600}".to_string())
+        );
+        for bad in [
+            "\"\\u12\"",          // too few digits
+            "\"\\uZZZZ\"",        // not hex
+            "\"\\ud83d\"",        // lone high surrogate
+            "\"\\udc00\"",        // lone low surrogate
+            "\"\\ud83d\\u0041\"", // high surrogate + non-surrogate
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn control_characters_round_trip_through_quote_and_parse() {
+        // quote() emits \u00XX for control characters; the parser must read
+        // them back — this exact asymmetry was a render→parse defect found
+        // by the fuzz harness (rvaas-fuzz json target).
+        let original = "bell\u{7} and \u{1} and tab\t";
+        let quoted = quote(original);
+        assert_eq!(parse(&quoted).unwrap(), Json::Str(original.to_string()));
+    }
+
+    #[test]
+    fn nesting_bomb_is_a_parse_error_not_a_stack_overflow() {
+        // 10k open brackets previously recursed until the thread's stack
+        // ran out, aborting the process (found by the fuzz harness).
+        let bomb = "[".repeat(10_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "unexpected error: {err}");
+        // A document at exactly the cap still parses.
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(parse(&deep).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Long-soak CLI: `cargo run -p rvaas-fuzz -- [target] [iterations]`.
+//!
+//! With no arguments every target runs 100 000 mutation rounds; naming a
+//! target restricts the run, and a second argument overrides the budget.
+//! `cargo test -p rvaas-fuzz` is the bounded tier-1 entry point; this
+//! binary exists for overnight runs.
+
+use rvaas_fuzz::{find_target, run_target, TARGETS};
+
+const DEFAULT_SOAK: u64 = 100_000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let selected = args.next();
+    let iterations = args
+        .next()
+        .map(|raw| raw.parse().expect("iterations must be a number"))
+        .unwrap_or(DEFAULT_SOAK);
+    match selected.as_deref() {
+        None => {
+            for (name, target) in TARGETS {
+                println!("fuzzing {name} for {iterations} iterations");
+                run_target(name, iterations, *target);
+            }
+        }
+        Some(name) => {
+            let target = find_target(name).unwrap_or_else(|| {
+                let known: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
+                panic!("unknown target {name:?}; known targets: {known:?}")
+            });
+            println!("fuzzing {name} for {iterations} iterations");
+            run_target(name, iterations, target);
+        }
+    }
+    println!("no property violations");
+}

@@ -1,0 +1,120 @@
+//! Corpus management: seed inputs, regression entries, crasher persistence.
+//!
+//! Each target owns a directory `corpus/<target>/` in this crate. Files
+//! are raw input bytes; the file name is documentation (`seed-*` for
+//! hand-written valid inputs, `regress-*` for inputs that exposed a fixed
+//! defect, `crash-*` for harness-persisted finds awaiting triage). Every
+//! file is replayed on every run, so the corpus doubles as the parser
+//! regression suite.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// One persisted input.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File name within the target's corpus directory.
+    pub name: String,
+    /// Raw input bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// All persisted inputs for one target, in deterministic (name) order.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Target name (the corpus subdirectory).
+    pub target: String,
+    /// Entries sorted by file name.
+    pub entries: Vec<CorpusEntry>,
+}
+
+/// The on-disk corpus directory for `target` (inside this crate's source
+/// tree, so persisted crashers land in version control).
+#[must_use]
+pub fn corpus_dir(target: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(target)
+}
+
+impl Corpus {
+    /// Loads every file under `corpus/<target>/`. A missing directory
+    /// yields an empty corpus (the harness turns that into a hard error:
+    /// every target must ship seeds).
+    #[must_use]
+    pub fn load(target: &str) -> Corpus {
+        let mut entries = Vec::new();
+        if let Ok(dir) = fs::read_dir(corpus_dir(target)) {
+            for file in dir.flatten() {
+                let path = file.path();
+                if !path.is_file() {
+                    continue;
+                }
+                let name = file.file_name().to_string_lossy().into_owned();
+                if let Ok(bytes) = fs::read(&path) {
+                    entries.push(CorpusEntry { name, bytes });
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Corpus {
+            target: target.to_string(),
+            entries,
+        }
+    }
+}
+
+/// Writes a newly found crasher into the target's corpus under a
+/// content-derived name and returns the path. Idempotent for identical
+/// inputs, so repeated runs do not litter the corpus.
+pub fn persist_crasher(target: &str, input: &[u8]) -> PathBuf {
+    let dir = corpus_dir(target);
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("crash-{:016x}.bin", fnv1a(input)));
+    let _ = fs::write(&path, input);
+    path
+}
+
+/// FNV-1a over the input bytes: stable content addressing for crashers.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loading_a_missing_target_yields_an_empty_corpus() {
+        let corpus = Corpus::load("no-such-target");
+        assert!(corpus.entries.is_empty());
+    }
+
+    #[test]
+    fn every_shipped_target_has_seeds() {
+        for (name, _) in crate::targets::TARGETS {
+            let corpus = Corpus::load(name);
+            assert!(
+                !corpus.entries.is_empty(),
+                "target {name} ships no corpus seeds"
+            );
+        }
+    }
+
+    #[test]
+    fn crasher_names_are_content_addressed() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        let a = persist_crasher("harness-selftest", b"\x00\x01");
+        let b = persist_crasher("harness-selftest", b"\x00\x01");
+        assert_eq!(a, b, "identical inputs reuse the same file");
+        assert!(a.exists());
+        let _ = fs::remove_file(&a);
+        let _ = fs::remove_dir(corpus_dir("harness-selftest"));
+    }
+}

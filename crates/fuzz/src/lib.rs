@@ -1,0 +1,159 @@
+//! # rvaas-fuzz
+//!
+//! Offline, structured fuzzing for every RVaaS surface that parses
+//! **untrusted bytes**: the length-prefixed frame decoder, the in-band
+//! sync/query codec, the daemon's HTTP request parser and JSON codec, and
+//! the HSA cube algebra that ultimately consumes attacker-influenced rule
+//! tables.
+//!
+//! The build environment has no registry access, so this is not a
+//! `cargo-fuzz`/libFuzzer setup: the harness is plain Rust driven by the
+//! workspace's deterministic [`proptest`] dev-shim RNG. It keeps the three
+//! properties that matter from coverage-guided fuzzing even without
+//! coverage feedback:
+//!
+//! 1. **A persistent corpus.** Each target replays every file under
+//!    `corpus/<target>/` on every run, so once a crasher is found (and
+//!    auto-persisted) it is a regression test forever.
+//! 2. **Structure-aware mutation.** Random bytes rarely get past a tag
+//!    byte; the mutators start from *valid* encoded messages (the corpus
+//!    seeds) and apply byte-level havoc plus protocol-shaped stomps
+//!    (length-prefix inflation, version-byte flips, truncation).
+//! 3. **Properties stronger than "no crash".** Every target also asserts
+//!    bounded allocation and, where a codec has an encoder, the
+//!    parse → encode → parse fixpoint.
+//!
+//! Run modes:
+//!
+//! * `cargo test -p rvaas-fuzz` — full corpus replay + a bounded mutation
+//!   budget per target (tier-1 friendly).
+//! * `RVAAS_FUZZ_SMOKE=1 cargo test -p rvaas-fuzz` — CI smoke mode: same
+//!   coverage, smaller mutation budget.
+//! * `cargo run -p rvaas-fuzz -- [target] [iterations]` — long soak runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod mutate;
+pub mod targets;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::test_runner::TestRng;
+
+pub use corpus::{corpus_dir, persist_crasher, Corpus};
+pub use targets::{find_target, TARGETS};
+
+/// A fuzz target: consume untrusted bytes, panic on any violated property.
+pub type Target = fn(&[u8]);
+
+/// Mutation iterations to run per target under `cargo test`, scaled down
+/// when `RVAAS_FUZZ_SMOKE` is set (CI smoke mode).
+#[must_use]
+pub fn iteration_budget(full: u64) -> u64 {
+    let smoke = std::env::var("RVAAS_FUZZ_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    scaled_budget(full, smoke)
+}
+
+/// The smoke-mode scaling rule, split out from the env lookup for testing:
+/// a sixteenth of the full budget, but never fewer than 64 rounds so every
+/// mutator still fires.
+#[must_use]
+pub fn scaled_budget(full: u64, smoke: bool) -> u64 {
+    if smoke {
+        (full / 16).max(64)
+    } else {
+        full
+    }
+}
+
+/// Replays the persisted corpus for `name`, then runs `iterations` rounds
+/// of mutation-based fuzzing seeded deterministically from the target name.
+///
+/// # Panics
+///
+/// Panics when a corpus entry or a mutated input violates the target's
+/// properties. A mutated crasher is first persisted under
+/// `corpus/<name>/crash-<hash>.bin` so the failure reproduces as a plain
+/// corpus replay on every later run.
+pub fn run_target(name: &str, iterations: u64, target: Target) {
+    let corpus = Corpus::load(name);
+    assert!(
+        !corpus.entries.is_empty(),
+        "fuzz target {name} has no corpus seeds under {}",
+        corpus_dir(name).display()
+    );
+    for entry in &corpus.entries {
+        execute(name, &entry.bytes, target, Some(&entry.name));
+    }
+    let mut rng = TestRng::for_test(name);
+    for _ in 0..iterations {
+        let seed = {
+            let pick = (rng.next_u64() % corpus.entries.len() as u64) as usize;
+            &corpus.entries[pick].bytes
+        };
+        let input = mutate::mutate(&mut rng, &corpus, seed);
+        execute(name, &input, target, None);
+    }
+}
+
+/// Runs one input through a target, converting a panic into a diagnostic
+/// that names the corpus entry (replay) or persists the input (new find).
+fn execute(name: &str, input: &[u8], target: Target, replayed_entry: Option<&str>) {
+    let result = catch_unwind(AssertUnwindSafe(|| target(input)));
+    let Err(cause) = result else { return };
+    let what = cause
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| cause.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    match replayed_entry {
+        Some(entry) => {
+            panic!("fuzz target {name}: corpus entry {entry} violates properties: {what}")
+        }
+        None => {
+            let path = persist_crasher(name, input);
+            panic!(
+                "fuzz target {name}: mutated input violates properties: {what}\n\
+                 crasher persisted to {} — keep it as a regression entry",
+                path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_scales_the_budget_down_with_a_floor() {
+        assert_eq!(scaled_budget(4096, false), 4096);
+        assert_eq!(scaled_budget(4096, true), 256);
+        assert_eq!(scaled_budget(100, true), 64, "floor keeps mutators firing");
+    }
+
+    #[test]
+    fn a_crashing_target_is_reported_with_the_corpus_entry_name() {
+        fn bad(_: &[u8]) {
+            panic!("intentional");
+        }
+        let caught = catch_unwind(|| execute("demo", b"x", bad, Some("seed-1.bin")));
+        let text = match caught {
+            Ok(()) => panic!("expected the harness to propagate the panic"),
+            Err(cause) => cause
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("diagnostic is a String"),
+        };
+        assert!(text.contains("seed-1.bin"), "diagnostic was: {text}");
+        assert!(text.contains("intentional"), "diagnostic was: {text}");
+    }
+
+    #[test]
+    fn a_clean_target_passes_through() {
+        fn good(_: &[u8]) {}
+        execute("demo", b"anything", good, None);
+    }
+}

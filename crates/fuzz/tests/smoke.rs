@@ -1,0 +1,82 @@
+//! Tier-1 fuzzing entry points: full corpus replay plus a bounded mutation
+//! budget per target. CI runs these with `RVAAS_FUZZ_SMOKE=1` (smaller
+//! budget, same coverage); `cargo run -p rvaas-fuzz` is the soak mode.
+
+use rvaas_fuzz::{find_target, iteration_budget, run_target, targets, TARGETS};
+
+/// Full-test budget per target; smoke mode divides this by 16.
+const BUDGET: u64 = 2048;
+
+#[test]
+fn fuzz_frame_decoder() {
+    run_target("frame", iteration_budget(BUDGET), targets::frame_target);
+}
+
+#[test]
+fn fuzz_sync_codec() {
+    run_target("sync", iteration_budget(BUDGET), targets::sync_target);
+}
+
+#[test]
+fn fuzz_http_parser() {
+    run_target("http", iteration_budget(BUDGET), targets::http_target);
+}
+
+#[test]
+fn fuzz_json_codec() {
+    run_target("json", iteration_budget(BUDGET), targets::json_target);
+}
+
+#[test]
+fn fuzz_cube_algebra() {
+    run_target("cube", iteration_budget(BUDGET), targets::cube_target);
+}
+
+#[test]
+fn every_target_is_reachable_by_name() {
+    for (name, _) in TARGETS {
+        assert!(find_target(name).is_some(), "target {name} not findable");
+    }
+    assert!(find_target("no-such-target").is_none());
+}
+
+/// The regression entries must stay hostile: each one decodes to an error
+/// on its surface (they are the exact inputs that once allocated
+/// gigabytes, overflowed the stack, or mis-parsed escapes).
+#[test]
+fn regression_entries_are_still_rejected() {
+    use rvaas_fuzz::Corpus;
+
+    let sync = Corpus::load("sync");
+    for entry in sync
+        .entries
+        .iter()
+        .filter(|e| e.name.starts_with("regress-"))
+    {
+        assert!(
+            rvaas_client::decode_inband(&entry.bytes).is_err(),
+            "sync corpus entry {} no longer rejected",
+            entry.name
+        );
+    }
+
+    let json = Corpus::load("json");
+    let bomb = json
+        .entries
+        .iter()
+        .find(|e| e.name == "regress-depth-bomb.bin")
+        .expect("depth bomb entry shipped");
+    let text = std::str::from_utf8(&bomb.bytes).expect("bomb is ASCII");
+    assert!(rvaas_daemon::json::parse(text).is_err());
+
+    let frame = Corpus::load("frame");
+    let oversized = frame
+        .entries
+        .iter()
+        .find(|e| e.name == "regress-oversized-prefix.bin")
+        .expect("oversized prefix entry shipped");
+    assert!(matches!(
+        rvaas_client::read_frame(&mut oversized.bytes.as_slice()),
+        Err(rvaas_client::FrameError::Oversized { .. })
+    ));
+}

@@ -576,4 +576,29 @@ mod tests {
         }
         assert_eq!(store.current().serial, 200);
     }
+
+    #[test]
+    fn publish_is_rejected_when_the_serial_space_is_exhausted() {
+        let store = EpochStore::new(4);
+        store.publish(snapshot_with(&[1]), SimTime::from_millis(1));
+        // Rewind the clock to the end of time: the next publish would need
+        // serial u64::MAX + 1.
+        {
+            let mut current = store.current.write().unwrap();
+            *current = Arc::new(SnapshotEpoch {
+                serial: u64::MAX,
+                snapshot: current.snapshot.clone(),
+                digests: current.digests.clone(),
+                rules: current.rules.clone(),
+                published_at: current.published_at,
+            });
+        }
+        let err = store
+            .try_publish(snapshot_with(&[1, 2]), SimTime::from_millis(2))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::PublishRejected(_)));
+        assert!(err.to_string().contains("serial space exhausted"));
+        // The store is not corrupted: the current epoch is unchanged.
+        assert_eq!(store.current().serial, u64::MAX);
+    }
 }

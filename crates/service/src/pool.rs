@@ -846,4 +846,49 @@ mod tests {
         }
         assert_eq!(service.stats().queries, 20);
     }
+
+    /// Kills the worker pool in place, the way a shutdown race would: every
+    /// worker drains its queue and exits, leaving the senders hung up.
+    fn kill_workers(service: &mut VerificationService) {
+        for sender in &service.senders {
+            let _ = sender.send(WorkerMsg::Shutdown);
+        }
+        for worker in service.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    #[test]
+    fn try_submit_and_try_query_report_pool_unavailable_after_shutdown() {
+        let topology = generators::line(3, 1);
+        let (mut service, _snapshot) = service_over(&topology, 2, false);
+        kill_workers(&mut service);
+        let err = service
+            .try_submit(ClientId(1), QuerySpec::Isolation)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::PoolUnavailable {
+                context: "query submit"
+            }
+        ));
+        assert!(matches!(
+            service.try_query(ClientId(1), QuerySpec::Isolation),
+            Err(ServiceError::PoolUnavailable { .. })
+        ));
+        assert!(matches!(
+            service.try_query_all(&[(ClientId(1), QuerySpec::Isolation)]),
+            Err(ServiceError::PoolUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn ticket_abandoned_by_its_worker_reports_query_dropped() {
+        // A worker that exits mid-batch drops the reply sender without
+        // answering; the ticket must surface that as QueryDropped, not hang.
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        let ticket = QueryTicket { rx };
+        assert!(matches!(ticket.try_wait(), Err(ServiceError::QueryDropped)));
+    }
 }

@@ -461,4 +461,43 @@ mod tests {
         session.apply(&delta_response).unwrap();
         assert_eq!(session.digests(), &service.store().current().digests);
     }
+
+    #[test]
+    fn undecodable_frames_are_typed_codec_errors() {
+        let (service, server, _snapshot) = setup(8);
+        assert!(matches!(
+            server.handle_frame(&service, b"\xffnot a sync frame"),
+            Err(ServiceError::Codec(_))
+        ));
+        assert!(matches!(
+            server.handle_frame(&service, &[]),
+            Err(ServiceError::Codec(_))
+        ));
+        // A well-formed in-band message of the wrong kind is rejected the
+        // same way, not dispatched.
+        let stray = rvaas_client::AuthRequest {
+            query: rvaas_types::QueryId(1),
+            nonce: 2,
+            requester: rvaas_types::ClientId(3),
+        };
+        assert!(matches!(
+            server.handle_frame(&service, &stray.encode()),
+            Err(ServiceError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_sync_version_is_a_structured_mismatch() {
+        let (service, server, _snapshot) = setup(8);
+        let mut frame = SyncSession::new()
+            .request(rvaas_types::ClientId(1))
+            .encode();
+        frame[1] = 0xf0; // foreign major version in the version byte
+        let err = server.handle_frame(&service, &frame).unwrap_err();
+        let ServiceError::VersionMismatch { supported, got } = err else {
+            panic!("expected a version mismatch, got {err:?}");
+        };
+        assert_eq!(supported, rvaas_client::SYNC_PROTOCOL_VERSION);
+        assert_eq!(got, 0xf0);
+    }
 }
