@@ -16,10 +16,12 @@
 
 pub mod experiments;
 pub mod incremental_churn;
+pub mod query_scale;
 pub mod service_throughput;
 
 pub use experiments::{run_experiment, EXPERIMENT_IDS};
 pub use incremental_churn::{
     exp_s2_incremental_churn, measure_incremental_churn, smoke_mode, IncrementalChurnExperiment,
 };
+pub use query_scale::{exp_s3_query_scale, measure_query_scale, soak_mode, QueryScaleExperiment};
 pub use service_throughput::{exp_s1_service_throughput, measure, ServiceThroughputReport};

@@ -371,7 +371,7 @@ impl IncrementalModel {
 /// Union of `src = host ip` cubes over the client's hosts: the traffic the
 /// client can emit (what reachable-destination, isolation and geo queries
 /// inject).
-fn emission_space_of(topology: &Topology, client: ClientId) -> HeaderSpace {
+pub(crate) fn emission_space_of(topology: &Topology, client: ClientId) -> HeaderSpace {
     topology
         .hosts_of_client(client)
         .iter()
@@ -381,7 +381,7 @@ fn emission_space_of(topology: &Topology, client: ClientId) -> HeaderSpace {
 
 /// Union of `dst = host ip` cubes over the client's hosts: the traffic that
 /// can be addressed to the client (what reaching-source queries depend on).
-fn inbound_space_of(topology: &Topology, client: ClientId) -> HeaderSpace {
+pub(crate) fn inbound_space_of(topology: &Topology, client: ClientId) -> HeaderSpace {
     topology
         .hosts_of_client(client)
         .iter()

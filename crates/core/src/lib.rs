@@ -48,6 +48,7 @@ pub mod attest;
 pub mod backend;
 pub mod federation;
 pub mod incremental;
+pub mod interest;
 pub mod monitor;
 pub mod service;
 pub mod snapshot;
@@ -56,6 +57,7 @@ pub mod verify;
 pub use attest::{AttestedIdentity, RVAAS_IMAGE};
 pub use backend::{AnalysisBackend, InlineBackend};
 pub use incremental::{query_affected, ChangedRegion, IncrementalModel, RuleChange};
+pub use interest::{AffectedQueries, InterestIndex, QueryFootprint, QueryKey};
 pub use monitor::{ConfigMonitor, MonitorConfig, MonitorStats, PollStrategy};
 pub use service::{RvaasConfig, RvaasController, RvaasStats};
 pub use snapshot::NetworkSnapshot;

@@ -19,6 +19,7 @@ use rvaas_openflow::Action;
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, Field, HostId, Region, SwitchId, SwitchPort};
 
+use crate::interest::QueryFootprint;
 use crate::snapshot::NetworkSnapshot;
 
 /// The switch-location knowledge used for geo queries. Depending on how
@@ -132,6 +133,7 @@ impl LogicalVerifier {
             nf: Cow::Owned(self.function_for(snapshot)),
             emission: BTreeMap::new(),
             source_reach: BTreeMap::new(),
+            path: BTreeMap::new(),
         }
     }
 
@@ -156,6 +158,7 @@ impl LogicalVerifier {
             nf: Cow::Borrowed(nf),
             emission: BTreeMap::new(),
             source_reach: BTreeMap::new(),
+            path: BTreeMap::new(),
         }
     }
 
@@ -235,14 +238,41 @@ impl LogicalVerifier {
     }
 }
 
+/// Memoised per-`(source, client)` probe: the verdict plus the traversal
+/// footprint behind it.
+#[derive(Debug, Clone)]
+struct SourceProbe {
+    reaches: bool,
+    visited: Vec<SwitchId>,
+    truncated: bool,
+}
+
+/// Memoised per-`(client, destination ip)` path-length probe.
+#[derive(Debug, Clone)]
+struct PathProbe {
+    min: u32,
+    max: u32,
+    reachable: bool,
+    visited: Vec<SwitchId>,
+    truncated: bool,
+}
+
 /// A single-snapshot evaluation session.
 ///
 /// Owns the HSA network function built from one snapshot and memoises the
 /// expensive traversals: the emission-space reachability of each source host
-/// (shared by destination, isolation and geo queries) and the per-source
+/// (shared by destination, isolation and geo queries), the per-source
 /// "can this host reach that client" verdicts (shared by isolation and
-/// reaching-source queries). Answering `n` queries that share hosts through
-/// one evaluator therefore performs each traversal once.
+/// reaching-source queries) and per-destination path probes. Answering `n`
+/// queries that share hosts through one evaluator therefore performs each
+/// traversal once.
+///
+/// Every memo keeps the traversal's [`visited`] switch set, so
+/// [`footprint_of`](Self::footprint_of) can report which switches a verdict
+/// depends on — the interest-space index uses this to skip the query on
+/// changes elsewhere.
+///
+/// [`visited`]: ReachabilityResult::visited
 #[derive(Debug)]
 pub struct QueryEvaluator<'a> {
     verifier: &'a LogicalVerifier,
@@ -251,7 +281,9 @@ pub struct QueryEvaluator<'a> {
     /// Memoised `reachable_from(host, emission_space(host))` per source host.
     emission: BTreeMap<HostId, ReachabilityResult>,
     /// Memoised "source host can reach some access point of client".
-    source_reach: BTreeMap<(HostId, ClientId), bool>,
+    source_reach: BTreeMap<(HostId, ClientId), SourceProbe>,
+    /// Memoised path-length probes per `(client, destination ip)`.
+    path: BTreeMap<(ClientId, u32), PathProbe>,
 }
 
 impl QueryEvaluator<'_> {
@@ -316,8 +348,8 @@ impl QueryEvaluator<'_> {
         ports: &[SwitchPort],
         target_ips: &[u32],
     ) -> bool {
-        if let Some(reaches) = self.source_reach.get(&(source, client)) {
-            return *reaches;
+        if let Some(probe) = self.source_reach.get(&(source, client)) {
+            return probe.reaches;
         }
         let host = self
             .topology()
@@ -336,7 +368,14 @@ impl QueryEvaluator<'_> {
         let engine = ReachabilityEngine::new(&self.nf);
         let result = engine.reachable_from(attachment, space);
         let reaches = result.reached_ports().iter().any(|p| ports.contains(p));
-        self.source_reach.insert((source, client), reaches);
+        self.source_reach.insert(
+            (source, client),
+            SourceProbe {
+                reaches,
+                visited: result.visited,
+                truncated: result.truncated_branches > 0,
+            },
+        );
         reaches
     }
 
@@ -414,16 +453,33 @@ impl QueryEvaluator<'_> {
         regions
     }
 
-    /// Path-length bounds from `client`'s access points to the host owning
-    /// `to_ip`. Returns `(min, max, reachable)`.
-    #[must_use]
-    pub fn path_length(&mut self, client: ClientId, to_ip: u32) -> (u32, u32, bool) {
+    /// The memoised path probe of `(client, to_ip)`.
+    fn path_probe(&mut self, client: ClientId, to_ip: u32) -> &PathProbe {
+        if !self.path.contains_key(&(client, to_ip)) {
+            let probe = self.compute_path_probe(client, to_ip);
+            self.path.insert((client, to_ip), probe);
+        }
+        &self.path[&(client, to_ip)]
+    }
+
+    fn compute_path_probe(&mut self, client: ClientId, to_ip: u32) -> PathProbe {
         let engine = ReachabilityEngine::new(&self.nf);
         let Some(destination) = self.topology().host_by_ip(to_ip) else {
-            return (0, 0, false);
+            // The destination comes from the trusted, static topology: an
+            // unknown ip stays unknown whatever the rules do, so the verdict
+            // depends on no switch at all.
+            return PathProbe {
+                min: 0,
+                max: 0,
+                reachable: false,
+                visited: Vec::new(),
+                truncated: false,
+            };
         };
         let mut min = usize::MAX;
         let mut max = 0usize;
+        let mut visited: Vec<SwitchId> = Vec::new();
+        let mut truncated = false;
         for host in self.topology().hosts_of_client(client) {
             let space = HeaderSpace::from(
                 Cube::wildcard()
@@ -437,12 +493,31 @@ impl QueryEvaluator<'_> {
                     max = max.max(endpoint.hop_count());
                 }
             }
+            visited.extend(result.visited);
+            truncated |= result.truncated_branches > 0;
         }
-        if max == 0 {
+        visited.sort();
+        visited.dedup();
+        let (min, max, reachable) = if max == 0 {
             (0, 0, false)
         } else {
             (min as u32, max as u32, true)
+        };
+        PathProbe {
+            min,
+            max,
+            reachable,
+            visited,
+            truncated,
         }
+    }
+
+    /// Path-length bounds from `client`'s access points to the host owning
+    /// `to_ip`. Returns `(min, max, reachable)`.
+    #[must_use]
+    pub fn path_length(&mut self, client: ClientId, to_ip: u32) -> (u32, u32, bool) {
+        let probe = self.path_probe(client, to_ip);
+        (probe.min, probe.max, probe.reachable)
     }
 
     /// Network-neutrality check over the evaluator's snapshot.
@@ -515,6 +590,107 @@ impl QueryEvaluator<'_> {
                 QueryResult::Neutrality { fair, violations }
             }
         }
+    }
+
+    /// Union of the emission-space traversal footprints of `client`'s hosts;
+    /// unbounded as soon as any traversal was truncated.
+    fn emission_footprint(&mut self, client: ClientId) -> QueryFootprint {
+        let hosts: Vec<_> = self
+            .topology()
+            .hosts_of_client(client)
+            .iter()
+            .map(|h| (h.id, h.attachment, h.ip))
+            .collect();
+        let mut switches = std::collections::BTreeSet::new();
+        for (id, attachment, ip) in hosts {
+            let result = self.emission_result(id, attachment, ip);
+            if result.truncated_branches > 0 {
+                return QueryFootprint::unbounded();
+            }
+            switches.extend(result.visited.iter().copied());
+        }
+        QueryFootprint::bounded(switches)
+    }
+
+    /// Union of the foreign-source probe footprints toward `client`.
+    fn inbound_footprint(&mut self, client: ClientId) -> QueryFootprint {
+        let my_ports: Vec<SwitchPort> = self.topology().access_points_of(client);
+        let my_ips: Vec<u32> = self
+            .topology()
+            .hosts_of_client(client)
+            .iter()
+            .map(|h| h.ip)
+            .collect();
+        let sources: Vec<HostId> = self
+            .topology()
+            .hosts()
+            .filter(|h| h.owner != client)
+            .map(|h| h.id)
+            .collect();
+        let mut switches = std::collections::BTreeSet::new();
+        for source in sources {
+            self.source_reaches(source, client, &my_ports, &my_ips);
+            let probe = &self.source_reach[&(source, client)];
+            if probe.truncated {
+                return QueryFootprint::unbounded();
+            }
+            switches.extend(probe.visited.iter().copied());
+        }
+        QueryFootprint::bounded(switches)
+    }
+
+    /// The switch-level traversal footprint of `(client, spec)`: the set of
+    /// switches whose rules the verdict depends on, or unbounded when a
+    /// traversal hit the engine's bounds (the verdict may then depend on
+    /// anything). Sound for the interest-space index: a rule change on a
+    /// switch outside a bounded footprint cannot change the verdict, because
+    /// absent rewrites the injected traffic never arrives there (and rewrites
+    /// force conservative regions upstream).
+    ///
+    /// Cheap after [`answer`](Self::answer) for the same `(client, spec)` —
+    /// the footprint is read from the memoised traversals.
+    #[must_use]
+    pub fn footprint_of(&mut self, client: ClientId, spec: &QuerySpec) -> QueryFootprint {
+        match spec {
+            QuerySpec::ReachableDestinations | QuerySpec::GeoLocation => {
+                self.emission_footprint(client)
+            }
+            QuerySpec::ReachingSources => self.inbound_footprint(client),
+            QuerySpec::Isolation => {
+                let mut footprint = self.emission_footprint(client);
+                footprint.merge(&self.inbound_footprint(client));
+                footprint
+            }
+            QuerySpec::PathLength { to_ip } => {
+                let probe = self.path_probe(client, *to_ip);
+                if probe.truncated {
+                    QueryFootprint::unbounded()
+                } else {
+                    QueryFootprint::bounded(probe.visited.iter().copied().collect())
+                }
+            }
+            // Neutrality reads delivery rules on every access switch, not
+            // header traversals.
+            QuerySpec::Neutrality => QueryFootprint::bounded(
+                self.topology()
+                    .hosts()
+                    .map(|h| h.attachment.switch)
+                    .collect(),
+            ),
+        }
+    }
+
+    /// [`answer`](Self::answer) plus the traversal footprint behind the
+    /// verdict — the worker-pool entry point feeding the interest-space
+    /// index.
+    #[must_use]
+    pub fn answer_with_footprint(
+        &mut self,
+        client: ClientId,
+        spec: &QuerySpec,
+    ) -> (QueryResult, QueryFootprint) {
+        let result = self.answer(client, spec);
+        (result, self.footprint_of(client, spec))
     }
 }
 
@@ -762,5 +938,59 @@ mod tests {
                 other => panic!("spec/result mismatch: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn footprints_are_bounded_and_cover_traversed_switches() {
+        let topo = generators::line(4, 2);
+        let snap = snapshot_with(&topo, &[]);
+        let v = verifier(&topo);
+        let mut eval = v.evaluator(&snap);
+        let h3_ip = topo.host(HostId(3)).unwrap().ip;
+        for spec in [
+            QuerySpec::ReachableDestinations,
+            QuerySpec::ReachingSources,
+            QuerySpec::Isolation,
+            QuerySpec::GeoLocation,
+            QuerySpec::PathLength { to_ip: h3_ip },
+            QuerySpec::Neutrality,
+        ] {
+            let (result, footprint) = eval.answer_with_footprint(ClientId(1), &spec);
+            assert_eq!(result, eval.answer(ClientId(1), &spec), "memo stable");
+            let switches = footprint
+                .switches
+                .expect("benign line topology traversals stay within bounds");
+            assert!(
+                !switches.is_empty(),
+                "{spec:?} depends on at least one switch"
+            );
+        }
+        // An isolation verdict in a 4-switch line with hosts on every switch
+        // depends on every switch; a path probe toward host 3 from client 1's
+        // hosts (switches 1 and 3) never visits beyond the line between them.
+        let isolation = eval.footprint_of(ClientId(1), &QuerySpec::Isolation);
+        assert_eq!(isolation.switches.unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unknown_path_destination_has_an_empty_footprint() {
+        let topo = generators::line(3, 1);
+        let snap = snapshot_with(&topo, &[]);
+        let v = verifier(&topo);
+        let mut eval = v.evaluator(&snap);
+        let spec = QuerySpec::PathLength { to_ip: 0xdead_beef };
+        let (result, footprint) = eval.answer_with_footprint(ClientId(1), &spec);
+        assert!(matches!(
+            result,
+            QueryResult::PathLength {
+                reachable: false,
+                ..
+            }
+        ));
+        assert_eq!(
+            footprint.switches,
+            Some(std::collections::BTreeSet::new()),
+            "a constant verdict depends on no switch"
+        );
     }
 }

@@ -17,6 +17,10 @@ use rvaas_topology::{generators, Topology};
 pub struct DaemonConfig {
     /// Topology constructor spec, e.g. `line(4,2)` or `leaf_spine(2,4,2,7)`.
     pub topology: String,
+    /// Path of a rules file seeding the initial epoch (see
+    /// [`crate::rules::parse_rules`] for the format); `None` seeds the
+    /// built-in benign shortest-path routing.
+    pub rules_file: Option<String>,
     /// The service-plane knobs (workers, cache, listeners, ...).
     pub service: ServiceSettings,
 }
@@ -27,6 +31,7 @@ impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
             topology: "line(4,2)".to_string(),
+            rules_file: None,
             service: ServiceSettings::default(),
         }
     }
@@ -73,6 +78,11 @@ impl DaemonConfig {
             // Validate eagerly so a typo fails at config time, not at start.
             build_topology(value)?;
             self.topology = value.to_string();
+            Ok(())
+        } else if key == "rules_file" {
+            // The file itself is read (and its syntax checked) at start —
+            // a config can legitimately be written before its rules file.
+            self.rules_file = Some(value.to_string());
             Ok(())
         } else {
             self.service.set(key, value)
@@ -167,6 +177,7 @@ mod tests {
             r#"
 # rvaas daemon configuration
 topology = "ring(6, 3)"
+rules_file = "/etc/rvaas/rules.txt"
 
 [service]
 workers = 2
@@ -178,6 +189,7 @@ http_listen = 127.0.0.1:0
         )
         .unwrap();
         assert_eq!(config.topology, "ring(6, 3)");
+        assert_eq!(config.rules_file.as_deref(), Some("/etc/rvaas/rules.txt"));
         assert_eq!(config.service.workers, 2);
         assert!(!config.service.cache);
         assert_eq!(config.service.max_delta_history, 8);

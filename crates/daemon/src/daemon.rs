@@ -70,11 +70,20 @@ impl Daemon {
             }),
             Arc::clone(&registry),
         ));
-        // Epoch 1: the benign shortest-path routing state for the topology
-        // (the daemon's stand-in for a controller feed; `publish` on the
-        // service keeps advancing it).
+        // Epoch 1: the configured rules file when one is given, the benign
+        // shortest-path routing state otherwise (the daemon's stand-in for a
+        // controller feed; `publish` on the service keeps advancing it).
+        let rules = match &config.rules_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ServiceError::Config(format!("cannot read {path}: {e}")))?;
+                crate::rules::parse_rules(&text)
+                    .map_err(|e| ServiceError::Config(format!("{path}: {e}")))?
+            }
+            None => benign_rules(&topology),
+        };
         let mut snapshot = NetworkSnapshot::new(SimTime::from_millis(1));
-        for (switch, entry) in benign_rules(&topology) {
+        for (switch, entry) in rules {
             snapshot.record_installed(switch, entry, SimTime::from_millis(1));
         }
         service.try_publish(&snapshot, SimTime::from_millis(1))?;

@@ -15,6 +15,9 @@
 //!   `GET /v1/epoch`, `GET /metrics`).
 //! * [`json`] — hand-rolled JSON parsing/rendering for the query API (the
 //!   build vendors no JSON crate).
+//! * [`rules`] — the rules-file parser: seed the daemon with a concrete
+//!   rule set (`rules_file` / `--rules-file`) instead of the built-in
+//!   benign routing.
 //!
 //! The binary itself adds the routinator-style subcommands: `serve` (the
 //! daemon), `verify` (one-shot: evaluate queries, print JSON verdicts,
@@ -27,10 +30,12 @@ pub mod config;
 pub mod daemon;
 pub mod http;
 pub mod json;
+pub mod rules;
 
 pub use config::{build_topology, DaemonConfig};
 pub use daemon::Daemon;
 pub use http::{HttpRequest, HttpResponse};
+pub use rules::parse_rules;
 
 /// The embedded manual page, printed by `rvaas man`.
 pub const MAN_PAGE: &str = include_str!("man.txt");

@@ -8,11 +8,11 @@ use rvaas_service::ServiceError;
 use rvaas_types::ClientId;
 
 const USAGE: &str = "usage: rvaas <serve|verify|man> [options]
-  rvaas serve  [-c FILE] [--topology SPEC] [--workers N] [--sync-listen ADDR]
-               [--http-listen ADDR] [--no-cache] [--no-incremental]
-               [--run-secs N]
-  rvaas verify [-c FILE] [--topology SPEC] [--workers N] [--client N]
-               [--query NAME] [--to-ip N]
+  rvaas serve  [-c FILE] [--topology SPEC] [--rules-file FILE] [--workers N]
+               [--sync-listen ADDR] [--http-listen ADDR] [--no-cache]
+               [--no-incremental] [--run-secs N]
+  rvaas verify [-c FILE] [--topology SPEC] [--rules-file FILE] [--workers N]
+               [--client N] [--query NAME] [--to-ip N]
   rvaas man
 See `rvaas man` for details.";
 
@@ -105,6 +105,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 options.config = DaemonConfig::parse(&text)?;
             }
             "--topology" => overrides.push(("topology".to_string(), value_for(flag)?)),
+            "--rules-file" => overrides.push(("rules_file".to_string(), value_for(flag)?)),
             "--workers" => overrides.push(("workers".to_string(), value_for(flag)?)),
             "--sync-listen" => overrides.push(("sync_listen".to_string(), value_for(flag)?)),
             "--http-listen" => overrides.push(("http_listen".to_string(), value_for(flag)?)),

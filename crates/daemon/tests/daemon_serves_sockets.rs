@@ -177,6 +177,36 @@ fn daemon_serves_http_and_concurrent_sync_sessions_over_an_epoch_publish() {
 }
 
 #[test]
+fn rules_file_seeds_the_initial_epoch() {
+    let path = std::env::temp_dir().join(format!("rvaas-rules-{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "# seed: one tenant route plus a blanket filter\n\
+         1 400 src=10.0.0.1 dst=10.0.0.3 output:2\n\
+         2 400 drop\n",
+    )
+    .unwrap();
+    let mut config = DaemonConfig::default();
+    config.set("topology", "line(4,2)").unwrap();
+    config.set("workers", "1").unwrap();
+    config.set("rules_file", path.to_str().unwrap()).unwrap();
+    let daemon = Daemon::start(&config).unwrap();
+    assert_eq!(
+        daemon.service().store().current().snapshot.rule_count(),
+        2,
+        "the epoch holds exactly the file's rules, not the benign routing"
+    );
+    daemon.shutdown();
+
+    // A missing or malformed rules file is a config error at start.
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        Daemon::start(&config),
+        Err(rvaas_service::ServiceError::Config(_))
+    ));
+}
+
+#[test]
 fn unsupported_sync_version_is_answered_with_a_reject_frame() {
     let daemon = started_daemon();
     let mut stream = TcpStream::connect(daemon.sync_addr().unwrap()).unwrap();

@@ -251,10 +251,69 @@ fn cube_seeds() {
     write_seed("cube", "seed-large.bin", &blob(512));
 }
 
+fn config_seeds() {
+    // A full daemon config exercising every `ServiceSettings::set` path,
+    // comment stripping, section headers and value unquoting.
+    write_seed(
+        "config",
+        "seed-daemon-config.bin",
+        br#"# rvaas daemon configuration
+topology = "leaf_spine(2, 4, 2, 7)"
+rules_file = "/etc/rvaas/rules.txt"
+
+[service]
+workers = 3
+cache = off          # trailing comment
+incremental = on
+max_delta_history = 16
+sync_listen = "127.0.0.1:8282"
+http_listen = 127.0.0.1:8080
+"#,
+    );
+    write_seed(
+        "config",
+        "seed-minimal.bin",
+        b"topology = line(4,2)\nworkers = 1\n",
+    );
+    // A valid rules file: the config target also feeds its input through
+    // the rules-file parser, so rules texts belong in the same corpus.
+    write_seed(
+        "config",
+        "seed-rules-file.bin",
+        b"# tenant 1 routing plus a blanket filter\n\
+          1 400 src=10.0.0.1 dst=10.0.0.3 output:2\n\
+          2 300 dst=10.0.0.0/24 vlan=7 output:1\n\
+          3 200 proto=6 l4dst=443 controller\n\
+          4 100 ethtype=0x0800 drop\n",
+    );
+    // The unquote asymmetry: a value wrapped in *two* quote pairs keeps
+    // exactly one pair after parsing, and must survive re-rendering.
+    write_seed(
+        "config",
+        "regress-double-quoted-value.bin",
+        b"rules_file = \"\"abc\"\"\n",
+    );
+    // Integer overflow in a numeric setting must be a config error, not a
+    // panic or a silent wrap.
+    write_seed(
+        "config",
+        "regress-workers-overflow.bin",
+        b"workers = 18446744073709551616\n",
+    );
+    // An IPv4 prefix past /32 must be rejected by the rules parser (and
+    // the embedded `=` makes this an unknown-key error as a config file).
+    write_seed(
+        "config",
+        "regress-prefix-past-32.bin",
+        b"1 10 src=10.0.0.1/33 drop\n",
+    );
+}
+
 fn main() {
     frame_seeds();
     sync_seeds();
     http_seeds();
     json_seeds();
     cube_seeds();
+    config_seeds();
 }

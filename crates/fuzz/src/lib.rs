@@ -2,9 +2,9 @@
 //!
 //! Offline, structured fuzzing for every RVaaS surface that parses
 //! **untrusted bytes**: the length-prefixed frame decoder, the in-band
-//! sync/query codec, the daemon's HTTP request parser and JSON codec, and
-//! the HSA cube algebra that ultimately consumes attacker-influenced rule
-//! tables.
+//! sync/query codec, the daemon's HTTP request parser, JSON codec and
+//! TOML-subset config / rules-file parsers, and the HSA cube algebra that
+//! ultimately consumes attacker-influenced rule tables.
 //!
 //! The build environment has no registry access, so this is not a
 //! `cargo-fuzz`/libFuzzer setup: the harness is plain Rust driven by the

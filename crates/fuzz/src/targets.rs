@@ -17,7 +17,7 @@
 use rvaas_client::{
     decode_inband, read_frame, write_frame, FrameError, InbandMessage, MAX_FRAME_LEN,
 };
-use rvaas_daemon::{http, json};
+use rvaas_daemon::{http, json, parse_rules, DaemonConfig};
 use rvaas_hsa::{Cube, HeaderSpace, RuleAction, RuleTransfer, SwitchTransfer};
 use rvaas_types::{Field, FlowCookie, Header, PortId};
 
@@ -30,6 +30,7 @@ pub const TARGETS: &[(&str, Target)] = &[
     ("http", http_target),
     ("json", json_target),
     ("cube", cube_target),
+    ("config", config_target),
 ];
 
 /// Looks a target up by name.
@@ -171,6 +172,72 @@ pub fn json_target(data: &[u8]) {
     let reparsed = json::parse(&rendered)
         .unwrap_or_else(|e| panic!("render of a parsed value must re-parse: {e}\n{rendered}"));
     assert_eq!(reparsed, value, "JSON round-trip changed the value");
+}
+
+/// Renders one config value the way [`DaemonConfig::parse`] will read it
+/// back: values are stored verbatim after comment stripping and a single
+/// unquote pass, so only a value that *starts* with a quote needs to be
+/// re-wrapped to survive another unquote.
+fn render_config_value(value: &str) -> String {
+    if value.starts_with('"') {
+        format!("\"{value}\"")
+    } else {
+        value.to_string()
+    }
+}
+
+/// Renders a parsed daemon config back to canonical file form.
+fn render_config(config: &DaemonConfig) -> String {
+    let mut out = format!("topology = {}\n", render_config_value(&config.topology));
+    if let Some(path) = &config.rules_file {
+        out.push_str(&format!("rules_file = {}\n", render_config_value(path)));
+    }
+    let service = &config.service;
+    out.push_str(&format!("workers = {}\n", service.workers));
+    out.push_str(&format!(
+        "cache = {}\n",
+        if service.cache { "on" } else { "off" }
+    ));
+    out.push_str(&format!(
+        "incremental = {}\n",
+        if service.incremental { "on" } else { "off" }
+    ));
+    out.push_str(&format!(
+        "max_delta_history = {}\n",
+        service.max_delta_history
+    ));
+    if let Some(addr) = &service.sync_listen {
+        out.push_str(&format!("sync_listen = {}\n", render_config_value(addr)));
+    }
+    if let Some(addr) = &service.http_listen {
+        out.push_str(&format!("http_listen = {}\n", render_config_value(addr)));
+    }
+    out
+}
+
+/// Daemon TOML-subset config parser (every `ServiceSettings::set` path)
+/// plus the rules-file parser behind the `rules_file` key: arbitrary bytes
+/// as file text.
+///
+/// Properties: neither parser panics on arbitrary (lossily decoded) text;
+/// a successfully parsed config re-rendered in canonical `key = value`
+/// form re-parses to an equal config (comment stripping, section headers
+/// and unquoting are all absorbed by one parse); a successfully parsed
+/// rules file never yields more entries than it has lines.
+pub fn config_target(data: &[u8]) {
+    let text = String::from_utf8_lossy(data);
+    if let Ok(config) = DaemonConfig::parse(&text) {
+        let canonical = render_config(&config);
+        let reparsed = DaemonConfig::parse(&canonical)
+            .unwrap_or_else(|e| panic!("canonical re-render must re-parse: {e}\n{canonical}"));
+        assert_eq!(reparsed, config, "config round-trip changed a setting");
+    }
+    if let Ok(rules) = parse_rules(&text) {
+        assert!(
+            rules.len() <= text.lines().count(),
+            "rules parser invented entries"
+        );
+    }
 }
 
 /// A byte-stream "DNA" the cube target decodes into rules and headers.

@@ -33,6 +33,11 @@ fn fuzz_cube_algebra() {
 }
 
 #[test]
+fn fuzz_config_parser() {
+    run_target("config", iteration_budget(BUDGET), targets::config_target);
+}
+
+#[test]
 fn every_target_is_reachable_by_name() {
     for (name, _) in TARGETS {
         assert!(find_target(name).is_some(), "target {name} not findable");
@@ -79,4 +84,27 @@ fn regression_entries_are_still_rejected() {
         rvaas_client::read_frame(&mut oversized.bytes.as_slice()),
         Err(rvaas_client::FrameError::Oversized { .. })
     ));
+
+    let config = Corpus::load("config");
+    let entry_text = |name: &str| {
+        let entry = config
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} entry shipped"));
+        String::from_utf8(entry.bytes.clone()).expect("config corpus is text")
+    };
+    // Numeric overflow is a config error, not a panic or a silent wrap.
+    assert!(
+        rvaas_daemon::DaemonConfig::parse(&entry_text("regress-workers-overflow.bin")).is_err()
+    );
+    // An IPv4 prefix past /32 is rejected by the rules parser, and the
+    // embedded `=` makes the same line an unknown key as a config file.
+    let prefix = entry_text("regress-prefix-past-32.bin");
+    assert!(rvaas_daemon::parse_rules(&prefix).is_err());
+    assert!(rvaas_daemon::DaemonConfig::parse(&prefix).is_err());
+    // The unquote asymmetry: a doubly quoted value keeps exactly one pair.
+    let doubled = rvaas_daemon::DaemonConfig::parse(&entry_text("regress-double-quoted-value.bin"))
+        .expect("doubly quoted value parses");
+    assert_eq!(doubled.rules_file.as_deref(), Some("\"abc\""));
 }

@@ -96,6 +96,13 @@ pub struct ReachabilityResult {
     pub loops: Vec<LoopReport>,
     /// Number of branches cut due to `max_hops` / `max_cubes` limits.
     pub truncated_branches: usize,
+    /// Every switch the traversal touched, sorted and de-duplicated. Unlike
+    /// [`traversed_switches`](Self::traversed_switches) this includes switches
+    /// where all traffic was dropped or punted — the full *footprint* of the
+    /// computation, i.e. the set of switches whose rules the result depends
+    /// on. (A rule change on any other switch cannot alter this result,
+    /// except through `truncated_branches`.)
+    pub visited: Vec<SwitchId>,
 }
 
 impl ReachabilityResult {
@@ -196,6 +203,10 @@ impl<'a> ReachabilityEngine<'a> {
         }];
 
         while let Some(item) = queue.pop() {
+            // Footprint bookkeeping: every switch traffic arrives at is part
+            // of the result's dependency set, even when it drops or truncates
+            // everything.
+            result.visited.push(item.switch);
             if item.path.len() >= self.options.max_hops
                 || item.space.cube_count() > self.options.max_cubes
             {
@@ -250,6 +261,8 @@ impl<'a> ReachabilityEngine<'a> {
                 }
             }
         }
+        result.visited.sort();
+        result.visited.dedup();
         result
     }
 
@@ -391,6 +404,10 @@ mod tests {
         let space = HeaderSpace::from(dst_match(3));
         let result = engine.reachable_from(sp(1, 1), space);
         assert!(result.endpoints.is_empty());
+        // ...but the dropping switch is still part of the footprint: its
+        // rules decided the (empty) outcome, while s2/s3 never saw traffic.
+        assert_eq!(result.visited, vec![SwitchId(1)]);
+        assert!(result.traversed_switches().is_empty());
     }
 
     #[test]
@@ -455,6 +472,7 @@ mod tests {
             result.traversed_switches(),
             vec![SwitchId(1), SwitchId(2), SwitchId(3)]
         );
+        assert_eq!(result.visited, result.traversed_switches());
         assert_eq!(result.path_length_bounds(), Some((3, 3)));
     }
 

@@ -31,11 +31,14 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, RwLock};
 
-use rvaas::{ChangedRegion, IncrementalModel, NetworkSnapshot, RuleChange};
-use rvaas_client::FlowDigest;
+use rvaas::{
+    AffectedQueries, ChangedRegion, IncrementalModel, InterestIndex, NetworkSnapshot,
+    QueryFootprint, RuleChange,
+};
+use rvaas_client::{FlowDigest, QuerySpec};
 use rvaas_openflow::FlowEntry;
 use rvaas_topology::Topology;
-use rvaas_types::{SimTime, SwitchId};
+use rvaas_types::{ClientId, SimTime, SwitchId};
 
 use crate::error::ServiceError;
 
@@ -100,6 +103,13 @@ pub struct EpochDelta {
     pub removed_rules: Vec<(SwitchId, FlowEntry)>,
     /// Affected header region of the change (union over the covered epochs).
     pub changed: ChangedRegion,
+    /// The standing queries the interest-space index selected for this
+    /// change, frozen at publish time (union over the covered epochs). Using
+    /// the *stored* per-epoch selections — instead of re-querying the index
+    /// later — keeps lagging syncs sound: the selection reflects each
+    /// query's footprint as it was at that epoch, unaffected by refinements
+    /// that happened since.
+    pub affected: AffectedQueries,
 }
 
 impl EpochDelta {
@@ -112,6 +122,7 @@ impl EpochDelta {
             added_rules: Vec::new(),
             removed_rules: Vec::new(),
             changed: ChangedRegion::default(),
+            affected: AffectedQueries::default(),
         }
     }
 
@@ -152,6 +163,10 @@ pub struct Published {
     /// for per-rule region tracking to pay off), reporting an unbounded
     /// changed region.
     pub bulk_rebuild: bool,
+    /// The standing queries the interest-space index selected for this epoch
+    /// (computed under the publish lock, before the swap). The cache and the
+    /// sync server invalidate/re-verify exactly these.
+    pub affected: AffectedQueries,
 }
 
 /// The atomically swapped epoch store.
@@ -170,6 +185,11 @@ pub struct EpochStore {
     /// lock. Wiring-free (an empty topology): exposed-region computation
     /// only needs the per-switch rule lists.
     shadow: Mutex<IncrementalModel>,
+    /// The interest-space index over the registered standing queries.
+    /// Advanced under the publish lock (widening affected interests before
+    /// the new epoch becomes visible); registered/refined concurrently by
+    /// the worker pool and the sync server.
+    interest: Mutex<InterestIndex>,
     max_deltas: usize,
 }
 
@@ -188,8 +208,56 @@ impl EpochStore {
             })),
             deltas: Mutex::new(VecDeque::new()),
             shadow: Mutex::new(IncrementalModel::new(Topology::new())),
+            interest: Mutex::new(InterestIndex::new(Topology::new())),
             max_deltas,
         }
+    }
+
+    fn interest_lock(&self) -> std::sync::MutexGuard<'_, InterestIndex> {
+        self.interest
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Supplies the trusted deployment knowledge the interest-space index
+    /// derives default interests from. Without it every registration is
+    /// conservative (affected by any change). Call before registering.
+    pub fn attach_interest_topology(&self, topology: Topology) {
+        self.interest_lock().set_topology(topology);
+    }
+
+    /// Mirrors the interest-space index's activity into `registry` (under
+    /// `rvaas_interest_*`).
+    pub fn attach_interest_telemetry(&self, registry: &rvaas_telemetry::Registry) {
+        self.interest_lock().attach_telemetry(registry);
+    }
+
+    /// Registers a standing query in the interest-space index (idempotent).
+    pub fn register_interest(&self, client: ClientId, spec: &QuerySpec) -> bool {
+        self.interest_lock().register(client, spec)
+    }
+
+    /// Removes a standing query from the interest-space index.
+    pub fn deregister_interest(&self, client: ClientId, spec: &QuerySpec) -> bool {
+        self.interest_lock().deregister(client, spec)
+    }
+
+    /// Narrows a standing query's interest to the traversal footprint an
+    /// evaluation against epoch `serial` recorded (ignored when stale).
+    pub fn refine_interest(
+        &self,
+        client: ClientId,
+        spec: &QuerySpec,
+        serial: u64,
+        footprint: &QueryFootprint,
+    ) {
+        self.interest_lock().refine(client, spec, serial, footprint);
+    }
+
+    /// Number of standing queries registered in the interest-space index.
+    #[must_use]
+    pub fn registered_interests(&self) -> usize {
+        self.interest_lock().len()
     }
 
     /// Mirrors the shadow incremental model's activity into `registry`
@@ -313,6 +381,10 @@ impl EpochStore {
                 region
             }
         };
+        // Select (and widen) the affected standing queries before the new
+        // epoch becomes visible: a footprint refined against this serial can
+        // then never be invalidated by this publish.
+        let affected = self.interest_lock().advance(serial, &changed);
         {
             let mut deltas = self
                 .deltas
@@ -326,6 +398,7 @@ impl EpochStore {
                 added_rules,
                 removed_rules,
                 changed: changed.clone(),
+                affected: affected.clone(),
             });
             while deltas.len() > self.max_deltas {
                 deltas.pop_front();
@@ -343,6 +416,151 @@ impl EpochStore {
             changed,
             delta_rules: change_count,
             bulk_rebuild,
+            affected,
+        })
+    }
+
+    /// Advances the epoch by a rule-level delta instead of a full snapshot:
+    /// the monitor hands [`ConfigMonitor::drain_changes`] output straight
+    /// here, and the store derives the next epoch from the previous one —
+    /// hashing only the delta entries instead of re-digesting every rule.
+    /// (The frozen snapshot itself is still a clone of its predecessor plus
+    /// the delta, so memory stays `O(rules)`; the per-publish *hashing* cost
+    /// drops from `O(rules)` to `O(delta)`.)
+    ///
+    /// Installs already present and removals of absent rules are skipped, so
+    /// the recorded delta always matches the digest diff of the two epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the publish is rejected (see
+    /// [`EpochStore::try_publish_changes`]).
+    ///
+    /// [`ConfigMonitor::drain_changes`]: rvaas::ConfigMonitor::drain_changes
+    pub fn publish_changes(&self, changes: &[RuleChange], at: SimTime) -> Published {
+        self.try_publish_changes(changes, at)
+            .expect("epoch delta publish rejected")
+    }
+
+    /// Fallible form of [`EpochStore::publish_changes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PublishRejected`] if the serial space is
+    /// exhausted.
+    pub fn try_publish_changes(
+        &self,
+        changes: &[RuleChange],
+        at: SimTime,
+    ) -> Result<Published, ServiceError> {
+        let mut current = self
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let previous = Arc::clone(&current);
+        let serial = previous.serial.checked_add(1).ok_or_else(|| {
+            ServiceError::PublishRejected(format!(
+                "epoch serial space exhausted at {}",
+                previous.serial
+            ))
+        })?;
+        let mut snapshot = previous.snapshot.clone();
+        let mut digests = previous.digests.clone();
+        let mut rules = previous.rules.clone();
+        let mut added: Vec<FlowDigest> = Vec::new();
+        let mut added_rules: Vec<(SwitchId, FlowEntry)> = Vec::new();
+        let mut removed: Vec<FlowDigest> = Vec::new();
+        let mut removed_rules: Vec<(SwitchId, FlowEntry)> = Vec::new();
+        let mut effective: Vec<RuleChange> = Vec::new();
+        for change in changes {
+            let d = digest_entry(change.switch, &change.entry);
+            if change.installed {
+                if !digests.insert(d) {
+                    continue; // already installed — not a change
+                }
+                snapshot.record_installed(change.switch, change.entry.clone(), at);
+                rules.insert(d, (change.switch, change.entry.clone()));
+                // A re-add cancelling an earlier removal in this batch is a
+                // digest-level no-op, like cancellation across epochs.
+                if let Some(pos) = removed.iter().position(|r| *r == d) {
+                    removed.remove(pos);
+                    removed_rules.remove(pos);
+                } else {
+                    added.push(d);
+                    added_rules.push((change.switch, change.entry.clone()));
+                }
+                effective.push(change.clone());
+            } else {
+                if !digests.remove(&d) {
+                    continue; // not installed — nothing to remove
+                }
+                snapshot.record_removed(change.switch, &change.entry, at);
+                rules.remove(&d);
+                if let Some(pos) = added.iter().position(|a| *a == d) {
+                    added.remove(pos);
+                    added_rules.remove(pos);
+                } else {
+                    removed.push(d);
+                    removed_rules.push((change.switch, change.entry.clone()));
+                }
+                effective.push(change.clone());
+            }
+        }
+        let change_count = effective.len();
+        let bulk_rebuild = change_count > (rules.len() / 4).max(64);
+        let changed = {
+            let mut shadow = self
+                .shadow
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if bulk_rebuild {
+                shadow.rebuild_from(&snapshot);
+                ChangedRegion::everything()
+            } else {
+                // The effective changes include within-batch flaps on
+                // purpose: the region must cover them, exactly as
+                // `delta_between` keeps flapped regions across epochs.
+                let region = shadow.apply(&effective);
+                if shadow.is_desynced() {
+                    shadow.rebuild_from(&snapshot);
+                }
+                region
+            }
+        };
+        let affected = self.interest_lock().advance(serial, &changed);
+        let delta_rules = added_rules.len() + removed_rules.len();
+        {
+            let mut deltas = self
+                .deltas
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            deltas.push_back(EpochDelta {
+                from_serial: previous.serial,
+                to_serial: serial,
+                added,
+                removed,
+                added_rules,
+                removed_rules,
+                changed: changed.clone(),
+                affected: affected.clone(),
+            });
+            while deltas.len() > self.max_deltas {
+                deltas.pop_front();
+            }
+        }
+        *current = Arc::new(SnapshotEpoch {
+            serial,
+            snapshot,
+            digests,
+            rules,
+            published_at: at,
+        });
+        Ok(Published {
+            serial,
+            changed,
+            delta_rules,
+            bulk_rebuild,
+            affected,
         })
     }
 
@@ -379,6 +597,7 @@ impl EpochStore {
         let mut added_rules: Vec<(FlowDigest, SwitchId, FlowEntry)> = Vec::new();
         let mut removed_rules: BTreeMap<FlowDigest, (SwitchId, FlowEntry)> = BTreeMap::new();
         let mut changed = ChangedRegion::default();
+        let mut affected = AffectedQueries::default();
         let mut next_expected = from_serial;
         for delta in deltas
             .iter()
@@ -392,6 +611,10 @@ impl EpochStore {
             // changes: an add-then-remove pair still perturbed the region in
             // between, and over-approximating is the safe direction.
             changed.merge(&delta.changed);
+            // A query affected anywhere in the window may hold a moved
+            // verdict: the per-epoch selections union, they are never
+            // re-derived from the (since-refined) index.
+            affected.merge(&delta.affected);
             for (switch, entry) in &delta.added_rules {
                 let d = digest_entry(*switch, entry);
                 // An add that cancels an earlier remove is a no-op overall.
@@ -423,6 +646,7 @@ impl EpochStore {
             added_rules: added_rules.into_iter().map(|(_, s, e)| (s, e)).collect(),
             removed_rules: removed_rules.into_values().collect(),
             changed,
+            affected,
         })
     }
 }
@@ -575,6 +799,122 @@ mod tests {
             assert!(observed > 0, "reader never observed an epoch");
         }
         assert_eq!(store.current().serial, 200);
+    }
+
+    #[test]
+    fn publish_changes_matches_full_publish() {
+        // Drive one store by full snapshots and a twin by rule deltas; the
+        // epochs, digests and deltas must agree.
+        let full = EpochStore::new(8);
+        let delta = EpochStore::new(8);
+        full.publish(snapshot_with(&[1, 2]), SimTime::from_millis(1));
+        delta.publish_changes(
+            &[
+                RuleChange::installed(SwitchId(1), entry(1)),
+                RuleChange::installed(SwitchId(1), entry(2)),
+            ],
+            SimTime::from_millis(1),
+        );
+        let p_full = full.publish(snapshot_with(&[2, 3]), SimTime::from_millis(2));
+        let p_delta = delta.publish_changes(
+            &[
+                RuleChange::removed(SwitchId(1), entry(1)),
+                RuleChange::installed(SwitchId(1), entry(3)),
+            ],
+            SimTime::from_millis(2),
+        );
+        assert_eq!(p_delta.serial, p_full.serial);
+        assert_eq!(p_delta.delta_rules, p_full.delta_rules);
+        assert_eq!(delta.current().digests, full.current().digests);
+        assert_eq!(
+            digest_snapshot(&delta.current().snapshot),
+            delta.current().digests
+        );
+        let d_full = full.delta_since(1).expect("retained");
+        let d_delta = delta.delta_since(1).expect("retained");
+        assert_eq!(d_delta.added, d_full.added);
+        assert_eq!(d_delta.removed, d_full.removed);
+        assert_eq!(d_delta.changed.switches, d_full.changed.switches);
+    }
+
+    #[test]
+    fn publish_changes_skips_noop_and_collapses_flaps() {
+        let store = EpochStore::new(8);
+        store.publish_changes(
+            &[RuleChange::installed(SwitchId(1), entry(1))],
+            SimTime::from_millis(1),
+        );
+        let p = store.publish_changes(
+            &[
+                RuleChange::installed(SwitchId(1), entry(1)), // already there
+                RuleChange::removed(SwitchId(1), entry(9)),   // never there
+                RuleChange::installed(SwitchId(1), entry(2)), // flap up...
+                RuleChange::removed(SwitchId(1), entry(2)),   // ...and down
+            ],
+            SimTime::from_millis(2),
+        );
+        assert_eq!(p.delta_rules, 0, "digest-level no-op");
+        let d = store.delta_since(1).expect("retained");
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert!(
+            !d.changed.is_empty(),
+            "the flap still perturbed the region: {:?}",
+            d.changed
+        );
+        assert_eq!(store.current().serial, 2);
+        assert_eq!(store.current().snapshot.rule_count(), 1);
+    }
+
+    #[test]
+    fn published_affected_tracks_registered_interests() {
+        use rvaas_topology::generators;
+        use rvaas_types::ClientId;
+
+        let topology = generators::line(4, 2);
+        let store = EpochStore::new(8);
+        store.attach_interest_topology(topology.clone());
+        store.register_interest(ClientId(1), &QuerySpec::ReachableDestinations);
+        store.register_interest(ClientId(2), &QuerySpec::ReachableDestinations);
+        assert_eq!(store.registered_interests(), 2);
+
+        // The first publish installs a dst-pinned, src-wild rule: it overlaps
+        // both clients' emission interests, so both are selected (exactly —
+        // one rule is far below the bulk-rebuild threshold).
+        let p1 = store.publish(snapshot_with(&[1]), SimTime::from_millis(1));
+        assert!(!p1.affected.is_everything());
+        assert_eq!(p1.affected.len(), 2);
+
+        // A tenant-pinned rule change on client 1's source only selects
+        // client 1's query.
+        let c1_ip = topology.hosts_of_client(ClientId(1))[0].ip;
+        let c2_ip = topology.hosts_of_client(ClientId(2))[0].ip;
+        let tenant = FlowEntry::new(
+            400,
+            FlowMatch::from_ip(c1_ip).field(rvaas_types::Field::IpDst, u64::from(c2_ip)),
+            vec![Action::Output(PortId(1))],
+        );
+        let p2 = store.publish_changes(
+            &[RuleChange::installed(SwitchId(2), tenant)],
+            SimTime::from_millis(2),
+        );
+        assert!(!p2.affected.is_everything());
+        assert!(p2
+            .affected
+            .is_affected(ClientId(1), &QuerySpec::ReachableDestinations));
+        assert!(!p2
+            .affected
+            .is_affected(ClientId(2), &QuerySpec::ReachableDestinations));
+        // The per-epoch selection is frozen into the delta history.
+        let window = store.delta_between(1, 2).expect("retained");
+        assert!(window
+            .affected
+            .is_affected(ClientId(1), &QuerySpec::ReachableDestinations));
+        // ...and a wider window unions the per-epoch selections, picking the
+        // epoch-1 selection of client 2 back up.
+        let wide = store.delta_between(0, 2).expect("retained");
+        assert!(wide
+            .affected
+            .is_affected(ClientId(2), &QuerySpec::ReachableDestinations));
     }
 
     #[test]

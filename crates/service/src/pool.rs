@@ -22,7 +22,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rvaas::{query_affected, IncrementalModel, LogicalVerifier, NetworkSnapshot};
+use rvaas::{IncrementalModel, LogicalVerifier, NetworkSnapshot, RuleChange};
 use rvaas_client::{QueryResult, QuerySpec};
 use rvaas_telemetry::{Counter, Gauge, Histogram, Registry};
 use rvaas_topology::Topology;
@@ -30,7 +30,7 @@ use rvaas_types::{ClientId, SimTime};
 
 use crate::cache::ResultCache;
 use crate::config::ServiceConfig;
-use crate::epoch::{EpochStore, SnapshotEpoch};
+use crate::epoch::{EpochStore, Published, SnapshotEpoch};
 use crate::error::ServiceError;
 
 /// Upper bound on how many queued queries one worker folds into a batch.
@@ -249,6 +249,8 @@ impl VerificationService {
     ) -> Self {
         let store = Arc::new(EpochStore::new(config.settings.max_delta_history.max(1)));
         store.attach_shadow_telemetry(&registry);
+        store.attach_interest_topology(topology.clone());
+        store.attach_interest_telemetry(&registry);
         let cache = Arc::new(ResultCache::with_registry(config.settings.cache, &registry));
         let metrics = Arc::new(ServiceMetrics::new(&registry));
         // History-mode verification folds recently *removed* rules into the
@@ -353,6 +355,48 @@ impl VerificationService {
             let _span = self.metrics.stage_publish.span();
             self.store.try_publish(snapshot.clone(), at)?
         };
+        self.finish_publish(&published);
+        Ok(published.serial)
+    }
+
+    /// Publishes a rule-level delta as the next epoch — the monitor's
+    /// [`drain_changes`] output goes straight here, skipping the full-snapshot
+    /// re-digest of [`VerificationService::publish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the epoch store rejects the publish; the served network
+    /// path uses [`VerificationService::try_publish_changes`].
+    ///
+    /// [`drain_changes`]: rvaas::ConfigMonitor::drain_changes
+    pub fn publish_changes(&self, changes: &[RuleChange], at: SimTime) -> u64 {
+        self.try_publish_changes(changes, at)
+            .expect("epoch delta publish failed")
+    }
+
+    /// Fallible form of [`VerificationService::publish_changes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PublishRejected`] when the epoch store cannot
+    /// accept another epoch.
+    pub fn try_publish_changes(
+        &self,
+        changes: &[RuleChange],
+        at: SimTime,
+    ) -> Result<u64, ServiceError> {
+        self.metrics.epochs_published.inc();
+        let published = {
+            let _span = self.metrics.stage_publish.span();
+            self.store.try_publish_changes(changes, at)?
+        };
+        self.finish_publish(&published);
+        Ok(published.serial)
+    }
+
+    /// Post-publish bookkeeping shared by both publish paths: metrics plus
+    /// the cache advance driven by the interest-space index's selection.
+    fn finish_publish(&self, published: &Published) {
         self.metrics
             .epoch_serial
             .set(i64::try_from(published.serial).unwrap_or(i64::MAX));
@@ -364,15 +408,17 @@ impl VerificationService {
         }
         let _span = self.metrics.stage_cache_advance.span();
         if self.incremental {
-            let topology = &self.topology;
-            let changed = &published.changed;
+            // Workers register every query in the interest index before
+            // caching it, so the index's selection covers every cached
+            // entry — an O(affected) test instead of the linear
+            // query_affected scan per entry.
+            let affected = &published.affected;
             self.cache.advance(published.serial, |client, spec| {
-                query_affected(topology, client, spec, changed)
+                affected.is_affected(client, spec)
             });
         } else {
             self.cache.advance(published.serial, |_, _| true);
         }
-        Ok(published.serial)
     }
 
     /// Enqueues a query on its client's worker shard.
@@ -605,10 +651,24 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
             let result = match ctx.cache.get(epoch.serial, job.client, &job.spec) {
                 Some(result) => result,
                 None => {
-                    let result = evaluator.answer(job.client, &job.spec);
-                    ctx.cache
-                        .put(epoch.serial, job.client, job.spec.clone(), result.clone());
-                    result
+                    if ctx.incremental {
+                        // Register BEFORE caching: a publish that lands in
+                        // between then already widens this query, so the
+                        // cache-advance selection covers the entry.
+                        ctx.store.register_interest(job.client, &job.spec);
+                        let (result, footprint) =
+                            evaluator.answer_with_footprint(job.client, &job.spec);
+                        ctx.store
+                            .refine_interest(job.client, &job.spec, epoch.serial, &footprint);
+                        ctx.cache
+                            .put(epoch.serial, job.client, job.spec.clone(), result.clone());
+                        result
+                    } else {
+                        let result = evaluator.answer(job.client, &job.spec);
+                        ctx.cache
+                            .put(epoch.serial, job.client, job.spec.clone(), result.clone());
+                        result
+                    }
                 }
             };
             let latency = job.submitted.elapsed();

@@ -7,17 +7,21 @@
 //! epoch — through the worker pool and its cache — and ships the refreshed
 //! results inside the delta, so clients do not need a follow-up query round.
 //!
-//! "Affected" reuses the incremental engine's changed-header-region
-//! computation ([`rvaas::query_affected`]): a standing query whose interest
-//! space misses the delta's affected region provably kept its verdict, so
-//! the server skips it instead of re-verifying the whole subscription set on
-//! every delta. With the incremental engine disabled the server reverts to
-//! re-verifying everything (the full-recomputation baseline).
+//! "Affected" comes from the interest-space index
+//! ([`rvaas::InterestIndex`]): every subscription is registered in the
+//! index, each published epoch stores the index's selection in its delta,
+//! and a served delta re-verifies the *stored* selections unioned over the
+//! window intersected with the client's subscriptions. Using the frozen
+//! per-epoch selections (instead of re-querying the index at serve time)
+//! keeps lagging clients sound: a footprint refined after one of the
+//! window's epochs can never hide a query that epoch had affected. With the
+//! incremental engine disabled the server reverts to re-verifying
+//! everything (the full-recomputation baseline).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
-use rvaas::{query_affected, ChangedRegion};
+use rvaas::AffectedQueries;
 use rvaas_client::QuerySpec;
 use rvaas_client::{
     decode_inband, InbandMessage, ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse,
@@ -103,8 +107,11 @@ impl SyncServer {
     }
 
     /// Registers a standing query for `client`, to be re-verified inside
-    /// every delta that invalidates published state.
+    /// every delta that invalidates published state. Also registers it in
+    /// the epoch store's interest-space index, so future epochs select it
+    /// exactly.
     pub fn subscribe(&self, client: ClientId, spec: QuerySpec) {
+        self.store.register_interest(client, &spec);
         self.sessions
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -185,7 +192,7 @@ impl SyncServer {
                 payload: SyncPayload::Unchanged,
             },
             Some(delta) => {
-                let reverified = self.reverify(service, request.client, &delta.changed)?;
+                let reverified = self.reverify(service, request.client, &delta.affected)?;
                 SyncResponse {
                     session: self.session_id,
                     serial: delta.to_serial,
@@ -203,31 +210,37 @@ impl SyncServer {
         &self,
         service: &VerificationService,
         client: ClientId,
-        changed: &ChangedRegion,
+        affected: &AffectedQueries,
     ) -> Result<Vec<ReverifiedQuery>, ServiceError> {
         let _span = self.reverify_latency.span();
-        let specs: Vec<QuerySpec> = {
+        // The affected-set test: the window's stored per-epoch selections,
+        // unioned by `delta_between`, intersected with this client's
+        // subscriptions. Unselected standing queries provably kept their
+        // verdict and are skipped entirely (not even a cache lookup). With an
+        // exact selection the intersection walks the (small) selection, not
+        // the subscription set, so serving a delta is O(affected) even at
+        // large standing-query populations.
+        let (total, workload): (u64, Vec<(ClientId, QuerySpec)>) = {
             let sessions = self
                 .sessions
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            sessions
-                .get(&client)
-                .map(|s| s.subscriptions.iter().cloned().collect())
-                .unwrap_or_default()
+            let Some(session) = sessions.get(&client) else {
+                return Ok(Vec::new());
+            };
+            let subs = &session.subscriptions;
+            let workload = if !service.incremental_enabled() || affected.is_everything() {
+                subs.iter().map(|spec| (client, spec.clone())).collect()
+            } else {
+                affected
+                    .keys()
+                    .iter()
+                    .filter(|(owner, spec)| *owner == client && subs.contains(spec))
+                    .cloned()
+                    .collect()
+            };
+            (subs.len() as u64, workload)
         };
-        // The affected-set computation: only standing queries whose interest
-        // space intersects the delta's changed header region can have a new
-        // verdict. The rest are skipped entirely (not even a cache lookup).
-        let total = specs.len() as u64;
-        let workload: Vec<(ClientId, QuerySpec)> = specs
-            .into_iter()
-            .filter(|spec| {
-                !service.incremental_enabled()
-                    || query_affected(service.topology(), client, spec, changed)
-            })
-            .map(|spec| (client, spec))
-            .collect();
         self.reverified.add(workload.len() as u64);
         self.skipped.add(total - workload.len() as u64);
         // Submit everything before waiting so the worker answers the whole

@@ -17,13 +17,16 @@
 //! a many-client query workload under epoch churn — the service-plane
 //! counterpart of the in-band scenario — and the [`churn`] module adds the
 //! tenant-pinned churn workload plus the epoch-advance measurement driver
-//! behind the incremental-verification experiment.
+//! behind the incremental-verification experiment. The [`query_scale`]
+//! module scales the standing-query population under fixed churn to show
+//! epoch advance is `O(affected)`, not `O(standing queries)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod locations;
+pub mod query_scale;
 pub mod scenario;
 pub mod service_load;
 
@@ -31,6 +34,7 @@ pub use churn::{
     run_incremental_churn, tenant_churn_round, IncrementalChurnConfig, IncrementalChurnReport,
 };
 pub use locations::{crowd_sourced_map, inferred_map};
+pub use query_scale::{run_query_scale, synthetic_queries, QueryScaleConfig, QueryScaleReport};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};
 pub use service_load::{
     benign_snapshot, churn_round, clients_of, query_mix, round_robin_workload, run_service_load,
