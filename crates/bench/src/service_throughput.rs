@@ -59,6 +59,10 @@ pub struct ServiceThroughputReport {
     pub sync_delta_bytes: usize,
     /// Encoded size of the equivalent full resend.
     pub sync_full_bytes: usize,
+    /// Queries/sec with the flight recorder on (the shipped default).
+    pub recorder_on_qps: f64,
+    /// Queries/sec with the flight recorder disabled.
+    pub recorder_off_qps: f64,
     /// Cores visible to this process (thread scaling context).
     pub host_cores: usize,
     /// Whether the reduced smoke-mode workload was measured (CI); smoke
@@ -85,6 +89,36 @@ fn measure_inline(topology: &Topology, queries: usize) -> f64 {
         let _ = verifier.answer(&snapshot, *client, spec);
     }
     workload.len() as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measures flight-recorder overhead: the same pooled load with tracing
+/// on (the shipped default) vs off. The arms are interleaved so host
+/// drift (thermal, cache warmth) lands on both equally; the recorder is
+/// left enabled afterwards — default-on is the configuration we ship, so
+/// the overhead must stay measured and gated, not assumed.
+fn measure_recorder_overhead(
+    topology: &Topology,
+    rounds: usize,
+    queries_per_round: usize,
+) -> (f64, f64) {
+    let recorder = rvaas_telemetry::trace::recorder();
+    let config = ServiceLoadConfig {
+        workers: 4,
+        cache_enabled: false,
+        rounds,
+        queries_per_round,
+        churn_rules_per_round: 0,
+    };
+    let mut on_qps = 0.0;
+    let mut off_qps = 0.0;
+    for _ in 0..2 {
+        recorder.set_enabled(true);
+        on_qps += run_service_load(topology, &config).queries_per_sec;
+        recorder.set_enabled(false);
+        off_qps += run_service_load(topology, &config).queries_per_sec;
+    }
+    recorder.set_enabled(true);
+    (on_qps / 2.0, off_qps / 2.0)
 }
 
 fn measure_sync(topology: &Topology) -> (usize, usize, usize, usize) {
@@ -126,6 +160,7 @@ fn measure_sync(topology: &Topology) -> (usize, usize, usize, usize) {
         payload: SyncPayload::Reset {
             full: service.store().current().digests.iter().copied().collect(),
         },
+        trace: 0,
     };
     let (delta_bytes, full_bytes) = (delta.encoded_len(), full.encoded_len());
     session.apply(&delta).expect("delta applies");
@@ -185,6 +220,8 @@ pub fn measure(
             .collect();
 
     let (sync_rules, sync_changed, sync_delta_bytes, sync_full_bytes) = measure_sync(topology);
+    let (recorder_on_qps, recorder_off_qps) =
+        measure_recorder_overhead(topology, rounds, queries_per_round);
 
     ServiceThroughputReport {
         topology: label.to_string(),
@@ -197,12 +234,21 @@ pub fn measure(
         sync_changed,
         sync_delta_bytes,
         sync_full_bytes,
+        recorder_on_qps,
+        recorder_off_qps,
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         smoke: crate::incremental_churn::smoke_mode(),
     }
 }
 
 impl ServiceThroughputReport {
+    /// Recorder-on throughput as a fraction of recorder-off: 1.0 means the
+    /// flight recorder is free; CI gates this from falling below 0.9.
+    #[must_use]
+    pub fn recorder_ratio(&self) -> f64 {
+        self.recorder_on_qps / self.recorder_off_qps.max(1e-9)
+    }
+
     /// Queries/sec of the pooled configuration with `workers` threads.
     #[must_use]
     pub fn pool_qps(&self, workers: usize) -> f64 {
@@ -239,6 +285,12 @@ impl ServiceThroughputReport {
             "speedup pool(4w)/pool(1w) = {:.2} (thread scaling; host has {} core(s))",
             self.pool_qps(4) / self.pool_qps(1).max(1e-9),
             self.host_cores
+        ));
+        rows.push(format!(
+            "flight recorder: on={:.0} qps | off={:.0} qps | ratio={:.3} (default-on overhead)",
+            self.recorder_on_qps,
+            self.recorder_off_qps,
+            self.recorder_ratio()
         ));
         rows.push("churn_rules_per_round | cache_hit_rate".to_string());
         for (churn, hit_rate) in &self.cache_by_churn {
@@ -296,6 +348,7 @@ impl ServiceThroughputReport {
                 "  \"speedup_4w_vs_1w\": {:.3},\n",
                 "  \"speedup_4w_vs_inline\": {:.3},\n",
                 "  \"cache\": [{}],\n",
+                "  \"recorder\": {{\"on_qps\": {:.1}, \"off_qps\": {:.1}, \"ratio\": {:.4}}},\n",
                 "  \"delta_sync\": {{\"rules\": {}, \"changed\": {}, \"delta_bytes\": {}, \"full_bytes\": {}, \"delta_over_full\": {:.4}}}\n",
                 "}}\n",
             ),
@@ -309,6 +362,9 @@ impl ServiceThroughputReport {
             self.pool_qps(4) / self.pool_qps(1).max(1e-9),
             self.pool_qps(4) / self.inline_qps.max(1e-9),
             cache.join(","),
+            self.recorder_on_qps,
+            self.recorder_off_qps,
+            self.recorder_ratio(),
             self.sync_rules,
             self.sync_changed,
             self.sync_delta_bytes,
@@ -357,9 +413,16 @@ mod tests {
         // The delta must beat the full resend at ~10% churn — the core
         // bandwidth claim of the sync protocol.
         assert!(report.sync_delta_bytes < report.sync_full_bytes);
+        assert!(report.recorder_on_qps > 0.0);
+        assert!(report.recorder_off_qps > 0.0);
+        assert!(
+            rvaas_telemetry::trace::recorder().is_enabled(),
+            "the measurement must leave the recorder in its default-on state"
+        );
         let json = report.to_json();
         assert!(json.contains("\"experiment\": \"service_throughput\""));
         assert!(json.contains("\"delta_sync\""));
+        assert!(json.contains("\"recorder\""));
         let rows = report.rows();
         assert!(rows.iter().any(|r| r.starts_with("inline(seed)")));
     }

@@ -83,6 +83,12 @@ pub struct SyncResponse {
     pub serial: u64,
     /// What changed.
     pub payload: SyncPayload,
+    /// The trace id the server minted for this exchange (0 = untraced),
+    /// echoed so a client can quote it back to the operator when asking
+    /// "why did this sync reverify/reset me?". Wire-wise this is an
+    /// optional trailing field introduced by the 0x11 minor version: old
+    /// decoders ignore it, and this decoder reads it only when present.
+    pub trace: u64,
 }
 
 pub(crate) const WIRE_TAG_SYNC_REQUEST: u8 = 0x55;
@@ -93,7 +99,10 @@ pub(crate) const WIRE_TAG_SYNC_REJECT: u8 = 0x57;
 /// the low nibble. Every [`SyncRequest`]/[`SyncResponse`] carries this byte
 /// right after its wire tag; a peer that receives an unknown *major* version
 /// must reject the message (minor bumps are compatible extensions).
-pub const SYNC_PROTOCOL_VERSION: u8 = 0x10;
+///
+/// History: 0x10 — initial framing; 0x11 — responses may carry a trailing
+/// server-minted trace id ([`SyncResponse::trace`]).
+pub const SYNC_PROTOCOL_VERSION: u8 = 0x11;
 
 /// The major half of a sync protocol version byte.
 #[must_use]
@@ -233,6 +242,12 @@ impl SyncResponse {
                 encode_digests(full, &mut w);
             }
         }
+        // Optional trailing trace id (0x11 extension): omitted when
+        // untraced so the wire image of an untraced response is identical
+        // to what a 0x10 encoder produced.
+        if self.trace != 0 {
+            w.put_u64(self.trace);
+        }
         w.into_bytes()
     }
 
@@ -272,10 +287,15 @@ impl SyncResponse {
             },
             tag => return Err(Error::codec(format!("unknown sync payload tag {tag}"))),
         };
+        // The 0x11 trailing trace id, absent from 0x10-era encoders (and
+        // from untraced 0x11 responses). Fewer than 8 trailing bytes is
+        // garbage every version has always ignored.
+        let trace = if r.remaining() >= 8 { r.get_u64()? } else { 0 };
         Ok(SyncResponse {
             session,
             serial,
             payload,
+            trace,
         })
     }
 }
@@ -382,6 +402,7 @@ pub struct SyncSession {
     synchronised: bool,
     stats: SyncClientStats,
     telemetry: Option<SyncTelemetry>,
+    last_trace: u64,
 }
 
 impl SyncSession {
@@ -431,6 +452,14 @@ impl SyncSession {
         self.stats
     }
 
+    /// The server-minted trace id echoed in the last applied response
+    /// (0 until a traced response arrives) — quote it to the operator to
+    /// look the exchange up at `GET /v1/trace/<id>`.
+    #[must_use]
+    pub fn last_server_trace(&self) -> u64 {
+        self.last_trace
+    }
+
     /// Mirrors the session's counters into `registry` (under
     /// `rvaas_sync_*_total`), back-filling whatever was counted so far.
     pub fn attach_telemetry(&mut self, registry: &rvaas_telemetry::Registry) {
@@ -453,6 +482,9 @@ impl SyncSession {
     pub fn apply(&mut self, response: &SyncResponse) -> std::result::Result<(), SyncError> {
         let bytes = response.encoded_len() as u64;
         self.stats.bytes_received += bytes;
+        if response.trace != 0 {
+            self.last_trace = response.trace;
+        }
         if let Some(t) = &self.telemetry {
             t.bytes.add(bytes);
         }
@@ -529,6 +561,7 @@ impl SyncSession {
         *self = SyncSession {
             stats: self.stats,
             telemetry: self.telemetry.clone(),
+            last_trace: self.last_trace,
             ..SyncSession::default()
         };
     }
@@ -580,12 +613,54 @@ mod tests {
                 session: 42,
                 serial: 1000,
                 payload,
+                trace: 0,
             };
             match decode_inband(&resp.encode()).unwrap() {
                 InbandMessage::SyncResponse(decoded) => assert_eq!(decoded, resp),
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn traced_responses_roundtrip_and_untraced_wire_is_unchanged() {
+        let untraced = SyncResponse {
+            session: 42,
+            serial: 1000,
+            payload: SyncPayload::Unchanged,
+            trace: 0,
+        };
+        let traced = SyncResponse {
+            trace: 0xdead_beef_cafe_f00d,
+            ..untraced.clone()
+        };
+        // The trailing trace id is the only wire difference.
+        assert_eq!(traced.encode().len(), untraced.encode().len() + 8);
+        match decode_inband(&traced.encode()).unwrap() {
+            InbandMessage::SyncResponse(decoded) => assert_eq!(decoded, traced),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A 0x10-era image (no trailing field) decodes with trace = 0.
+        match decode_inband(&untraced.encode()).unwrap() {
+            InbandMessage::SyncResponse(decoded) => assert_eq!(decoded.trace, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The session surfaces the echoed trace.
+        let mut session = SyncSession::new();
+        assert_eq!(session.last_server_trace(), 0);
+        let _ = session.apply(&SyncResponse {
+            session: 42,
+            serial: 1,
+            payload: SyncPayload::Reset { full: vec![] },
+            trace: 77,
+        });
+        assert_eq!(session.last_server_trace(), 77);
+        session.desynchronise();
+        assert_eq!(
+            session.last_server_trace(),
+            77,
+            "diagnostics survive desync"
+        );
     }
 
     #[test]
@@ -601,6 +676,7 @@ mod tests {
                 payload: SyncPayload::Reset {
                     full: digests(&[1, 2, 3]),
                 },
+                trace: 0,
             })
             .unwrap();
         assert!(session.is_synchronised());
@@ -617,6 +693,7 @@ mod tests {
                     removed: digests(&[2]),
                     reverified: vec![],
                 },
+                trace: 0,
             })
             .unwrap();
         assert_eq!(session.serial(), 11);
@@ -640,6 +717,7 @@ mod tests {
                 payload: SyncPayload::Reset {
                     full: digests(&[1]),
                 },
+                trace: 0,
             })
             .unwrap();
         session
@@ -647,6 +725,7 @@ mod tests {
                 session: 7,
                 serial: 15,
                 payload: SyncPayload::Unchanged,
+                trace: 0,
             })
             .unwrap();
         assert_eq!(session.serial(), 15);
@@ -664,6 +743,7 @@ mod tests {
                 removed: digests(&[99]),
                 reverified: vec![],
             },
+            trace: 0,
         };
         assert_eq!(session.apply(&delta), Err(SyncError::DeltaWithoutState));
 
@@ -674,6 +754,7 @@ mod tests {
                 payload: SyncPayload::Reset {
                     full: digests(&[1]),
                 },
+                trace: 0,
             })
             .unwrap();
         // Unknown removal is state corruption.
@@ -690,6 +771,7 @@ mod tests {
                 removed: vec![],
                 reverified: vec![],
             },
+            trace: 0,
         };
         assert!(matches!(
             session.apply(&other_session),
@@ -715,6 +797,7 @@ mod tests {
             session: 2,
             serial: 3,
             payload: SyncPayload::Unchanged,
+            trace: 0,
         };
         assert_eq!(resp.encode()[1], SYNC_PROTOCOL_VERSION);
     }
@@ -751,6 +834,7 @@ mod tests {
             session: 5,
             serial: 7,
             payload: SyncPayload::Unchanged,
+            trace: 0,
         }
         .encode();
         resp[1] = 0x20;
@@ -788,6 +872,7 @@ mod tests {
             session: 1,
             serial: 2,
             payload: SyncPayload::Reset { full },
+            trace: 0,
         };
         let delta = SyncResponse {
             session: 1,
@@ -797,6 +882,7 @@ mod tests {
                 removed: (5..10).map(FlowDigest).collect(),
                 reverified: vec![],
             },
+            trace: 0,
         };
         assert!(delta.encoded_len() < reset.encoded_len());
     }

@@ -250,7 +250,9 @@ impl IncrementalModel {
     /// bulk rebuild).
     pub fn rebuild_from(&mut self, snapshot: &NetworkSnapshot) {
         self.reset();
+        let mut switches = 0u64;
         for (switch, entries) in snapshot.tables() {
+            switches += 1;
             let switch_index = self.index.entry(switch).or_default();
             let mut rewrites = 0usize;
             let rules: Vec<RuleTransfer> = entries
@@ -266,6 +268,11 @@ impl IncrementalModel {
             self.nf
                 .set_transfer(switch, rvaas_hsa::SwitchTransfer::from_rules(rules));
         }
+        rvaas_telemetry::trace::ambient_event(
+            rvaas_telemetry::TraceStage::ModelRebuild,
+            self.rule_count() as u64,
+            switches,
+        );
     }
 
     /// The trusted topology the model reasons over.
@@ -364,6 +371,11 @@ impl IncrementalModel {
                 t.conservative_regions.inc();
             }
         }
+        rvaas_telemetry::trace::ambient_event(
+            rvaas_telemetry::TraceStage::IncrementalApply,
+            changes.len() as u64,
+            self.rule_count() as u64,
+        );
         region
     }
 }

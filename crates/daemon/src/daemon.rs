@@ -7,25 +7,29 @@
 //!   peer speaking an unsupported protocol major version gets a
 //!   [`SyncReject`] frame back (the negotiation half of the version
 //!   handshake) and the connection is closed.
-//! * The **HTTP listener** serves `POST /v1/query`, `GET /v1/epoch` and
-//!   `GET /metrics` (see [`crate::http`]).
+//! * The **HTTP listener** serves the query/trace/status API and the
+//!   Prometheus exposition (see [`crate::http`]) over persistent
+//!   keep-alive connections.
 //!
-//! Shutdown is cooperative: a shared flag flips, the nonblocking accept
-//! loops notice within one poll interval, per-connection read timeouts
-//! bound how long a draining connection thread can linger, and
-//! [`Daemon::shutdown`] joins everything before returning.
+//! Each listener hands accepted sockets to a **bounded pool** of
+//! connection workers over a channel — a misbehaving client burns at most
+//! one worker, never an unbounded pile of threads. Shutdown is
+//! cooperative: a shared flag flips, the nonblocking accept loops notice
+//! within one poll interval and exit (dropping the channel sender), the
+//! workers drain and exit on the closed channel, and [`Daemon::shutdown`]
+//! joins everything before returning.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rvaas::{LocationMap, NetworkSnapshot, VerifierConfig};
 use rvaas_client::{read_frame, write_frame, SyncReject};
 use rvaas_controlplane::benign_rules;
 use rvaas_service::{ServiceError, SyncServer, VerificationService};
-use rvaas_telemetry::{Counter, Registry};
+use rvaas_telemetry::{Counter, Gauge, Registry};
 use rvaas_types::SimTime;
 
 use crate::config::DaemonConfig;
@@ -36,8 +40,12 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Read timeout on sync connections: bounds both a stuck peer and the
 /// drain latency at shutdown.
 const SYNC_READ_TIMEOUT: Duration = Duration::from_millis(100);
-/// Read timeout on HTTP connections (one short request each).
+/// Read timeout on HTTP connections: bounds a stalled request and caps how
+/// long an idle keep-alive connection can pin a pool worker.
 const HTTP_READ_TIMEOUT: Duration = Duration::from_millis(1000);
+/// Connection workers per listener: the bound on concurrently served
+/// connections (excess accepted sockets queue on the channel).
+const CONNECTION_WORKERS: usize = 4;
 
 /// A running `rvaas` daemon.
 #[derive(Debug)]
@@ -48,7 +56,8 @@ pub struct Daemon {
     http_addr: Option<SocketAddr>,
     sync_addr: Option<SocketAddr>,
     listeners: Vec<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
 }
 
 impl Daemon {
@@ -62,6 +71,13 @@ impl Daemon {
     pub fn start(config: &DaemonConfig) -> Result<Self, ServiceError> {
         let topology = config.build_topology()?;
         let registry = Registry::shared();
+        registry
+            .gauge_with(
+                "rvaas_build_info",
+                "Build metadata; always 1, version in the label.",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
         let service = Arc::new(VerificationService::with_registry(
             topology.clone(),
             config.service.clone().into_config(VerifierConfig {
@@ -98,7 +114,6 @@ impl Daemon {
         ));
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let connections = Arc::new(Mutex::new(Vec::new()));
         let mut daemon = Daemon {
             service,
             sync_server,
@@ -106,29 +121,28 @@ impl Daemon {
             http_addr: None,
             sync_addr: None,
             listeners: Vec::new(),
-            connections,
+            workers: Vec::new(),
+            started: Instant::now(),
         };
         if let Some(addr) = &config.service.sync_listen {
             let listener = bind(addr)?;
             daemon.sync_addr = Some(local_addr(&listener)?);
-            let handle = daemon.spawn_accept_loop(
+            daemon.spawn_listener(
                 listener,
                 "rvaas_sync_sessions_total",
                 "Sync TCP sessions accepted.",
                 serve_sync_connection,
             );
-            daemon.listeners.push(handle);
         }
         if let Some(addr) = &config.service.http_listen {
             let listener = bind(addr)?;
             daemon.http_addr = Some(local_addr(&listener)?);
-            let handle = daemon.spawn_accept_loop(
+            daemon.spawn_listener(
                 listener,
                 "rvaas_http_connections_total",
                 "HTTP connections accepted.",
                 serve_http_connection,
             );
-            daemon.listeners.push(handle);
         }
         Ok(daemon)
     }
@@ -158,57 +172,73 @@ impl Daemon {
     }
 
     /// Flips the shutdown flag and joins every listener and connection
-    /// thread: on return no daemon thread is running.
+    /// worker: on return no daemon thread is running.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Listeners first: each exit drops a channel sender, which releases
+        // that listener's workers once the queue drains.
         for handle in self.listeners.drain(..) {
             let _ = handle.join();
         }
-        let drained: Vec<JoinHandle<()>> = {
-            let mut connections = self
-                .connections
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            connections.drain(..).collect()
-        };
-        for handle in drained {
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 
-    fn spawn_accept_loop(
-        &self,
+    /// Spawns one accept loop plus its bounded pool of connection workers.
+    fn spawn_listener(
+        &mut self,
         listener: TcpListener,
         counter_name: &'static str,
         counter_help: &'static str,
         serve: fn(&ConnectionContext, TcpStream),
-    ) -> JoinHandle<()> {
+    ) {
+        let registry = self.service.registry();
         let context = ConnectionContext {
             service: Arc::clone(&self.service),
             sync_server: Arc::clone(&self.sync_server),
             shutdown: Arc::clone(&self.shutdown),
-            accepted: self.service.registry().counter(counter_name, counter_help),
-            http_requests: self.service.registry().counter(
+            accepted: registry.counter(counter_name, counter_help),
+            http_requests: registry.counter(
                 "rvaas_http_requests_total",
                 "HTTP requests parsed by the daemon.",
             ),
-            sync_frames: self.service.registry().counter(
+            sync_frames: registry.counter(
                 "rvaas_sync_frames_total",
                 "Sync request frames answered by the daemon.",
             ),
+            active: registry.gauge(
+                "rvaas_http_connections_active",
+                "HTTP connections currently being served.",
+            ),
+            started: self.started,
         };
-        let connections = Arc::clone(&self.connections);
-        thread::spawn(move || {
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for _ in 0..CONNECTION_WORKERS {
+            let context = context.clone();
+            let receiver = Arc::clone(&receiver);
+            self.workers.push(thread::spawn(move || loop {
+                // Take the next socket, then drop the lock before serving
+                // so the other workers keep draining the queue.
+                let stream = receiver
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .recv();
+                match stream {
+                    Ok(stream) => serve(&context, stream),
+                    Err(_) => return, // accept loop gone: shutdown
+                }
+            }));
+        }
+        self.listeners.push(thread::spawn(move || {
             while !context.shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         context.accepted.inc();
-                        let context = context.clone();
-                        let handle = thread::spawn(move || serve(&context, stream));
-                        connections
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push(handle);
+                        if sender.send(stream).is_err() {
+                            return; // no workers left
+                        }
                     }
                     // WouldBlock is the idle case; other accept errors
                     // (e.g. a reset mid-handshake) are transient and must
@@ -216,11 +246,11 @@ impl Daemon {
                     Err(_) => thread::sleep(ACCEPT_POLL),
                 }
             }
-        })
+        }));
     }
 }
 
-/// Everything a connection thread needs, cloned per connection.
+/// Everything a connection worker needs, cloned per worker.
 #[derive(Clone)]
 struct ConnectionContext {
     service: Arc<VerificationService>,
@@ -229,6 +259,8 @@ struct ConnectionContext {
     accepted: Arc<Counter>,
     http_requests: Arc<Counter>,
     sync_frames: Arc<Counter>,
+    active: Arc<Gauge>,
+    started: Instant,
 }
 
 fn bind(addr: &str) -> Result<TcpListener, ServiceError> {
@@ -282,7 +314,8 @@ fn serve_sync_connection(context: &ConnectionContext, stream: TcpStream) {
     }
 }
 
-/// One HTTP exchange: parse, route, respond, close.
+/// One HTTP connection: requests served in a keep-alive loop until the
+/// client asks to close, goes idle, sends garbage or the daemon shuts down.
 fn serve_http_connection(context: &ConnectionContext, stream: TcpStream) {
     let mut stream = stream;
     if stream.set_nonblocking(false).is_err()
@@ -290,14 +323,30 @@ fn serve_http_connection(context: &ConnectionContext, stream: TcpStream) {
     {
         return;
     }
-    let response = match http::read_request(&mut stream) {
-        Ok(request) => {
-            // Counted at parse time, before dispatch: a scrape of /metrics
-            // observes itself.
-            context.http_requests.inc();
-            http::route(&context.service, &context.sync_server, &request)
+    context.active.inc();
+    loop {
+        match http::read_request(&mut stream) {
+            Ok(None) => break, // idle or clean close between requests
+            Ok(Some(request)) => {
+                // Counted at parse time, before dispatch: a scrape of
+                // /metrics observes itself.
+                context.http_requests.inc();
+                let response = http::route(
+                    &context.service,
+                    &context.sync_server,
+                    &request,
+                    context.started.elapsed().as_secs(),
+                );
+                let keep_alive = !request.close && !context.shutdown.load(Ordering::SeqCst);
+                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                    break;
+                }
+            }
+            Err(why) => {
+                let _ = http::HttpResponse::error(400, &why).write_to(&mut stream, false);
+                break;
+            }
         }
-        Err(why) => http::HttpResponse::error(400, &why),
-    };
-    let _ = response.write_to(&mut stream);
+    }
+    context.active.dec();
 }

@@ -1,15 +1,25 @@
 //! A hand-rolled, deliberately minimal HTTP/1.1 server face.
 //!
-//! The daemon needs exactly three routes — `POST /v1/query`, `GET
-//! /v1/epoch` and `GET /metrics` — and the build environment vendors no
-//! HTTP crate, so this module implements just enough of RFC 9112 to serve
-//! them: request-line + headers + `Content-Length` body, one request per
-//! connection (`Connection: close` on every response). No chunked
-//! encoding, no keep-alive, no TLS.
+//! The build environment vendors no HTTP crate, so this module implements
+//! just enough of RFC 9112 to serve the daemon's API: request-line +
+//! headers + `Content-Length` body, persistent connections with
+//! HTTP/1.0-vs-1.1 `Connection` header semantics, and a segment router.
+//! No chunked encoding, no TLS. Routes:
+//!
+//! * `POST /v1/query` — run one verification query (trace minted at
+//!   ingress, echoed in the verdict JSON).
+//! * `GET /v1/epoch` — current epoch serial, session and content digest.
+//! * `GET /v1/epoch/<serial>/provenance` — the provenance record for one
+//!   published epoch.
+//! * `GET /v1/status` — liveness/health snapshot.
+//! * `GET /v1/trace/<id>` — the flight-recorder event chain for a trace.
+//! * `GET /v1/trace/slow` — the retained slow/error captures.
+//! * `GET /metrics` — Prometheus text exposition.
 
-use std::io::{self, Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 
 use rvaas_service::{ServiceError, SyncServer, VerificationService};
+use rvaas_telemetry::{trace::recorder, CaptureReason, TraceContext, TraceStage};
 
 use crate::json;
 
@@ -25,6 +35,9 @@ pub struct HttpRequest {
     pub target: String,
     /// The body, UTF-8 decoded.
     pub body: String,
+    /// Whether the client asked for the connection to close after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
 }
 
 /// A response ready for serialisation.
@@ -77,19 +90,22 @@ impl HttpResponse {
         }
     }
 
-    /// Serialises status line, headers and body onto `w`.
+    /// Serialises status line, headers and body onto `w`. `keep_alive`
+    /// selects the `Connection` header; the caller decides based on the
+    /// request's wishes and its own shutdown state.
     ///
     /// # Errors
     ///
     /// Propagates writer failures.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
@@ -98,11 +114,15 @@ impl HttpResponse {
 
 /// Reads and parses one HTTP request off `r`.
 ///
+/// Returns `Ok(None)` when the connection went idle-quiet: a clean EOF or
+/// a read timeout before any request byte arrived — the keep-alive loop
+/// closes without answering. A timeout or EOF *mid*-request is an error.
+///
 /// # Errors
 ///
 /// Returns a human-readable message for malformed, oversized or truncated
 /// requests (the caller answers 400 and closes).
-pub fn read_request<R: Read>(r: &mut R) -> Result<HttpRequest, String> {
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<HttpRequest>, String> {
     // Read until the blank line terminating the header block.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -113,10 +133,15 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<HttpRequest, String> {
         if buf.len() > MAX_REQUEST_LEN {
             return Err("request head too large".to_string());
         }
-        let n = r
-            .read(&mut chunk)
-            .map_err(|e| format!("read failed: {e}"))?;
+        let n = match r.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if idle_timeout(&e) && buf.is_empty() => return Ok(None),
+            Err(e) => return Err(format!("read failed: {e}")),
+        };
         if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
             return Err("connection closed mid-request".to_string());
         }
         buf.extend_from_slice(&chunk[..n]);
@@ -132,6 +157,8 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<HttpRequest, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported protocol {version:?}"));
     }
+    // HTTP/1.0 closes by default; HTTP/1.1 keeps alive by default.
+    let mut close = version == "HTTP/1.0";
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -140,6 +167,13 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<HttpRequest, String> {
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
             }
         }
     }
@@ -157,15 +191,28 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<HttpRequest, String> {
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Ok(HttpRequest {
+    Ok(Some(HttpRequest {
         method: method.to_string(),
         target: target.to_string(),
         body: String::from_utf8(body).map_err(|_| "non-UTF-8 body".to_string())?,
-    })
+        close,
+    }))
+}
+
+fn idle_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into its non-empty path segments, dropping any
+/// query string. `"/v1/trace/7?x=1"` → `["v1", "trace", "7"]`.
+#[must_use]
+pub fn path_segments(target: &str) -> Vec<&str> {
+    let path = target.split('?').next().unwrap_or("");
+    path.split('/').filter(|s| !s.is_empty()).collect()
 }
 
 /// Maps a [`ServiceError`] onto the HTTP status that describes it.
@@ -181,21 +228,46 @@ pub fn status_for(error: &ServiceError) -> u16 {
     }
 }
 
-/// Routes one request against the running service.
+/// Routes one request against the running service. `uptime_secs` is the
+/// daemon's wall-clock age, surfaced by `/v1/status`.
 #[must_use]
 pub fn route(
     service: &VerificationService,
     sync_server: &SyncServer,
     request: &HttpRequest,
+    uptime_secs: u64,
 ) -> HttpResponse {
-    match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/v1/query") => match handle_query(service, &request.body) {
+    let segments = path_segments(&request.target);
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "query"]) => match handle_query(service, &request.body) {
             Ok(body) => HttpResponse::json(200, body),
             Err(err) => HttpResponse::error(status_for(&err), &err.to_string()),
         },
-        ("GET", "/v1/epoch") => HttpResponse::json(200, epoch_body(service, sync_server)),
-        ("GET", "/metrics") => HttpResponse::text(200, service.registry().render_text()),
-        (_, "/v1/query" | "/v1/epoch" | "/metrics") => {
+        ("GET", ["v1", "epoch"]) => HttpResponse::json(200, epoch_body(service, sync_server)),
+        ("GET", ["v1", "epoch", serial, "provenance"]) => match serial.parse::<u64>() {
+            Ok(serial) => match service.store().provenance(serial) {
+                Some(record) => HttpResponse::json(200, json::render_provenance(&record)),
+                None => HttpResponse::error(404, &format!("no provenance for epoch {serial}")),
+            },
+            Err(_) => HttpResponse::error(400, &format!("bad epoch serial {serial:?}")),
+        },
+        ("GET", ["v1", "status"]) => {
+            HttpResponse::json(200, status_body(service, sync_server, uptime_secs))
+        }
+        ("GET", ["v1", "trace", "slow"]) => {
+            let rec = recorder();
+            HttpResponse::json(
+                200,
+                json::render_retained(&rec.retained(), rec.slow_threshold_us()),
+            )
+        }
+        ("GET", ["v1", "trace", id]) => match id.parse::<u64>() {
+            Ok(id) => trace_body(id),
+            Err(_) => HttpResponse::error(400, &format!("bad trace id {id:?}")),
+        },
+        ("GET", ["metrics"]) => HttpResponse::text(200, service.registry().render_text()),
+        (_, ["v1", "query"] | ["v1", "epoch"] | ["v1", "status"] | ["metrics"])
+        | (_, ["v1", "epoch", _, "provenance"] | ["v1", "trace", _]) => {
             HttpResponse::error(405, &format!("method {} not allowed", request.method))
         }
         _ => HttpResponse::error(404, &format!("no route for {}", request.target)),
@@ -204,24 +276,79 @@ pub fn route(
 
 fn handle_query(service: &VerificationService, body: &str) -> Result<String, ServiceError> {
     let (client, spec) = json::parse_query_request(body)?;
-    let response = service.try_query(client, spec)?;
-    Ok(json::render_response(&response))
+    let trace = TraceContext::mint();
+    trace.event(
+        TraceStage::IngressHttp,
+        u64::from(client.0),
+        body.len() as u64,
+    );
+    let trace_id = trace.id;
+    match service.try_query_traced(client, spec, trace) {
+        Ok(response) => Ok(json::render_response(&response)),
+        Err(err) => {
+            let rec = recorder();
+            TraceContext::from_id(trace_id.0).event(
+                TraceStage::QueryError,
+                u64::from(client.0),
+                u64::from(status_for(&err)),
+            );
+            rec.capture(trace_id, CaptureReason::Error);
+            Err(err)
+        }
+    }
+}
+
+/// The `/v1/trace/<id>` body: the live ring chain, falling back to the
+/// retained captures when the ring has already been overwritten.
+fn trace_body(id: u64) -> HttpResponse {
+    let rec = recorder();
+    let trace = rvaas_telemetry::TraceId(id);
+    let events = rec.chain(trace);
+    if !events.is_empty() {
+        return HttpResponse::json(200, json::render_trace(id, &events));
+    }
+    if let Some(retained) = rec.retained().into_iter().find(|r| r.trace == trace) {
+        return HttpResponse::json(200, json::render_trace(id, &retained.events));
+    }
+    HttpResponse::error(404, &format!("no events recorded for trace {id}"))
 }
 
 fn epoch_body(service: &VerificationService, sync_server: &SyncServer) -> String {
     let epoch = service.store().current();
     // A stable content digest over the published digest set, so two scrapes
     // can tell "same serial" from "same rules".
-    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-    for d in &epoch.digests {
-        digest ^= d.0;
-        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-    }
     format!(
-        "{{\"serial\":{},\"session\":{},\"rules\":{},\"digest\":\"{digest:016x}\"}}",
+        "{{\"serial\":{},\"session\":{},\"rules\":{},\"digest\":\"{:016x}\"}}",
         epoch.serial,
         sync_server.session_id(),
-        epoch.rules.len()
+        epoch.rules.len(),
+        epoch.content_digest()
+    )
+}
+
+fn status_body(
+    service: &VerificationService,
+    sync_server: &SyncServer,
+    uptime_secs: u64,
+) -> String {
+    let epoch = service.store().current();
+    let rec = recorder();
+    format!(
+        "{{\"version\":{},\"session\":{},\"epoch_serial\":{},\"uptime_secs\":{uptime_secs},\
+         \"workers\":{},\"cache_entries\":{},\"interests\":{},\
+         \"trace\":{{\"enabled\":{},\"ring_capacity\":{},\"occupancy\":{},\"retained\":{},\
+         \"slow_threshold_us\":{}}}}}",
+        json::quote(env!("CARGO_PKG_VERSION")),
+        sync_server.session_id(),
+        epoch.serial,
+        service.worker_count(),
+        service.cache_entries(),
+        service.store().registered_interests(),
+        rec.is_enabled(),
+        rec.capacity(),
+        rec.occupancy(),
+        rec.retained().len(),
+        rec.slow_threshold_us()
     )
 }
 
@@ -233,15 +360,43 @@ mod tests {
     #[test]
     fn requests_parse_with_and_without_bodies() {
         let raw = b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
-        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        let req = read_request(&mut Cursor::new(raw.to_vec()))
+            .unwrap()
+            .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.target, "/v1/query");
         assert_eq!(req.body, "body");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
 
         let raw = b"GET /metrics HTTP/1.0\r\n\r\n";
-        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        let req = read_request(&mut Cursor::new(raw.to_vec()))
+            .unwrap()
+            .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.body, "");
+        assert!(req.close, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn connection_headers_override_version_defaults() {
+        let raw = b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.to_vec()))
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+
+        let raw = b"GET /metrics HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.to_vec()))
+            .unwrap()
+            .unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn idle_connections_read_as_none() {
+        // Clean EOF before any byte: idle keep-alive close, not an error.
+        let raw: &[u8] = b"";
+        assert_eq!(read_request(&mut Cursor::new(raw.to_vec())).unwrap(), None);
     }
 
     #[test]
@@ -260,16 +415,35 @@ mod tests {
     }
 
     #[test]
-    fn responses_serialise_with_content_length_and_close() {
+    fn targets_split_into_segments() {
+        assert_eq!(path_segments("/v1/trace/7"), vec!["v1", "trace", "7"]);
+        assert_eq!(
+            path_segments("/v1/trace/7?verbose=1"),
+            vec!["v1", "trace", "7"]
+        );
+        assert_eq!(path_segments("//v1///status/"), vec!["v1", "status"]);
+        assert!(path_segments("/").is_empty());
+        assert!(path_segments("?x=1").is_empty());
+    }
+
+    #[test]
+    fn responses_serialise_with_content_length_and_connection() {
         let mut out = Vec::new();
         HttpResponse::json(200, "{\"ok\":true}".to_string())
-            .write_to(&mut out)
+            .write_to(&mut out, false)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{}".to_string())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 
     #[test]

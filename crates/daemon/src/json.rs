@@ -10,7 +10,8 @@
 use std::fmt::Write as _;
 
 use rvaas_client::QuerySpec;
-use rvaas_service::{QueryResponse, ServiceError};
+use rvaas_service::{EpochProvenance, QueryResponse, ServiceError};
+use rvaas_telemetry::{CaptureReason, RetainedTrace, TraceEvent};
 use rvaas_types::ClientId;
 
 /// A parsed JSON value (no floats: the API's numbers are all unsigned
@@ -452,16 +453,89 @@ pub fn render_result(result: &rvaas_client::QueryResult) -> String {
 }
 
 /// Renders a full verdict: the query echo, the epoch it was answered
-/// against, the latency and the result.
+/// against, the latency, the result and the flight-recorder trace id (fetch
+/// the event chain at `GET /v1/trace/<id>` while it is still in the ring).
 #[must_use]
 pub fn render_response(response: &QueryResponse) -> String {
     format!(
-        "{{\"client\":{},\"query\":{},\"epoch_serial\":{},\"latency_us\":{},\"result\":{}}}",
+        "{{\"client\":{},\"query\":{},\"epoch_serial\":{},\"latency_us\":{},\"trace\":{},\
+         \"result\":{}}}",
         response.client.0,
         quote(query_name(&response.spec)),
         response.epoch_serial,
         response.latency.as_micros(),
+        response.trace.0,
         render_result(&response.result)
+    )
+}
+
+fn render_trace_event(event: &TraceEvent) -> String {
+    let (a_name, b_name) = event.stage.arg_names();
+    format!(
+        "{{\"seq\":{},\"at_us\":{},\"stage\":{},\"{a_name}\":{},\"{b_name}\":{}}}",
+        event.seq,
+        event.at_us,
+        quote(event.stage.as_str()),
+        event.a,
+        event.b
+    )
+}
+
+/// Renders one reconstructed event chain, as served by `GET /v1/trace/<id>`
+/// and printed by `rvaas trace`.
+#[must_use]
+pub fn render_trace(trace: u64, events: &[TraceEvent]) -> String {
+    let items: Vec<String> = events.iter().map(render_trace_event).collect();
+    format!("{{\"trace\":{trace},\"events\":[{}]}}", items.join(","))
+}
+
+fn render_retained_trace(retained: &RetainedTrace) -> String {
+    let reason = match retained.reason {
+        CaptureReason::Slow { latency_us } => {
+            format!("\"reason\":\"slow\",\"latency_us\":{latency_us}")
+        }
+        CaptureReason::Error => "\"reason\":\"error\"".to_string(),
+    };
+    let items: Vec<String> = retained.events.iter().map(render_trace_event).collect();
+    format!(
+        "{{\"trace\":{},{reason},\"captured_at_us\":{},\"events\":[{}]}}",
+        retained.trace.0,
+        retained.captured_at_us,
+        items.join(",")
+    )
+}
+
+/// Renders the retained slow/error trace set, as served by
+/// `GET /v1/trace/slow`.
+#[must_use]
+pub fn render_retained(retained: &[RetainedTrace], slow_threshold_us: u64) -> String {
+    let items: Vec<String> = retained.iter().map(render_retained_trace).collect();
+    format!(
+        "{{\"slow_threshold_us\":{slow_threshold_us},\"retained\":[{}]}}",
+        items.join(",")
+    )
+}
+
+/// Renders one epoch provenance record, as served by
+/// `GET /v1/epoch/<serial>/provenance`.
+#[must_use]
+pub fn render_provenance(p: &EpochProvenance) -> String {
+    format!(
+        "{{\"serial\":{},\"digest\":\"{:016x}\",\"added\":{},\"removed\":{},\"delta_rules\":{},\
+         \"affected_queries\":{},\"affected_everything\":{},\"bulk_rebuild\":{},\
+         \"published_at_ms\":{},\"trace\":{},\"reverified\":{},\"reverify_sessions\":{}}}",
+        p.serial,
+        p.digest,
+        p.added,
+        p.removed,
+        p.delta_rules,
+        p.affected_queries,
+        p.affected_everything,
+        p.bulk_rebuild,
+        p.published_at.as_millis(),
+        p.trace.0,
+        p.reverified,
+        p.reverify_sessions
     )
 }
 
@@ -567,6 +641,108 @@ mod tests {
             "]".repeat(MAX_JSON_DEPTH + 1)
         );
         assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn trace_chain_renders_the_golden_shape_and_reparses() {
+        use rvaas_telemetry::{TraceId, TraceStage};
+        let events = vec![
+            TraceEvent {
+                trace: TraceId(7),
+                seq: 1,
+                at_us: 10,
+                stage: TraceStage::IngressHttp,
+                a: 1,
+                b: 42,
+            },
+            TraceEvent {
+                trace: TraceId(7),
+                seq: 2,
+                at_us: 15,
+                stage: TraceStage::Verdict,
+                a: 3,
+                b: 900,
+            },
+        ];
+        let rendered = render_trace(7, &events);
+        // The golden shape: per-stage argument names, dotted stage tags.
+        assert_eq!(
+            rendered,
+            "{\"trace\":7,\"events\":[\
+             {\"seq\":1,\"at_us\":10,\"stage\":\"ingress.http\",\"client\":1,\"request_bytes\":42},\
+             {\"seq\":2,\"at_us\":15,\"stage\":\"verdict\",\"epoch_serial\":3,\"latency_us\":900}]}"
+        );
+        let doc = parse(&rendered).unwrap();
+        assert_eq!(doc.get("trace").unwrap().as_int(), Some(7));
+        let Json::Array(items) = doc.get("events").unwrap() else {
+            panic!("expected an events array");
+        };
+        assert_eq!(
+            items[0].get("stage").unwrap().as_str(),
+            Some("ingress.http")
+        );
+        assert_eq!(items[1].get("latency_us").unwrap().as_int(), Some(900));
+
+        // Retained captures reparse too, including u64::MAX payload words
+        // (the "affects everything" sentinel).
+        let retained = RetainedTrace {
+            trace: TraceId(9),
+            reason: CaptureReason::Slow { latency_us: 12_000 },
+            captured_at_us: 99,
+            events: vec![TraceEvent {
+                trace: TraceId(9),
+                seq: 4,
+                at_us: 20,
+                stage: TraceStage::EpochDigest,
+                a: u64::MAX,
+                b: u64::MAX,
+            }],
+        };
+        let rendered = render_retained(&[retained], 10_000);
+        let doc = parse(&rendered).unwrap();
+        assert_eq!(doc.get("slow_threshold_us").unwrap().as_int(), Some(10_000));
+        let Json::Array(items) = doc.get("retained").unwrap() else {
+            panic!("expected a retained array");
+        };
+        assert_eq!(items[0].get("reason").unwrap().as_str(), Some("slow"));
+        assert_eq!(items[0].get("latency_us").unwrap().as_int(), Some(12_000));
+        let Json::Array(events) = items[0].get("events").unwrap() else {
+            panic!("expected an events array");
+        };
+        assert_eq!(
+            events[0].get("affected_queries").unwrap().as_int(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn provenance_records_render_and_reparse() {
+        use rvaas_telemetry::TraceId;
+        use rvaas_types::SimTime;
+        let rendered = render_provenance(&EpochProvenance {
+            serial: 3,
+            digest: 0x00ab_cdef_0123_4567,
+            added: 2,
+            removed: 1,
+            delta_rules: 3,
+            affected_queries: 5,
+            affected_everything: false,
+            bulk_rebuild: false,
+            published_at: SimTime::from_millis(17),
+            trace: TraceId(11),
+            reverified: 4,
+            reverify_sessions: 2,
+        });
+        let doc = parse(&rendered).unwrap();
+        assert_eq!(doc.get("serial").unwrap().as_int(), Some(3));
+        assert_eq!(
+            doc.get("digest").unwrap().as_str(),
+            Some("00abcdef01234567")
+        );
+        assert_eq!(doc.get("delta_rules").unwrap().as_int(), Some(3));
+        assert_eq!(doc.get("published_at_ms").unwrap().as_int(), Some(17));
+        assert_eq!(doc.get("affected_everything"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("reverified").unwrap().as_int(), Some(4));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `rvaas` binary: `serve`, `verify` and `man` subcommands.
+//! The `rvaas` binary: `serve`, `verify`, `trace` and `man` subcommands.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -7,11 +7,13 @@ use rvaas_daemon::{json, Daemon, DaemonConfig, MAN_PAGE};
 use rvaas_service::ServiceError;
 use rvaas_types::ClientId;
 
-const USAGE: &str = "usage: rvaas <serve|verify|man> [options]
+const USAGE: &str = "usage: rvaas <serve|verify|trace|man> [options]
   rvaas serve  [-c FILE] [--topology SPEC] [--rules-file FILE] [--workers N]
                [--sync-listen ADDR] [--http-listen ADDR] [--no-cache]
                [--no-incremental] [--run-secs N]
   rvaas verify [-c FILE] [--topology SPEC] [--rules-file FILE] [--workers N]
+               [--client N] [--query NAME] [--to-ip N]
+  rvaas trace  [-c FILE] [--topology SPEC] [--rules-file FILE] [--workers N]
                [--client N] [--query NAME] [--to-ip N]
   rvaas man
 See `rvaas man` for details.";
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "serve" => cmd_serve(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "man" => {
             print!("{MAN_PAGE}");
             Ok(())
@@ -214,6 +217,40 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
     for spec in specs {
         let response = daemon.service().try_query(options.client, spec)?;
         println!("{}", json::render_response(&response));
+    }
+    daemon.shutdown();
+    Ok(())
+}
+
+/// `rvaas trace`: like `verify`, but prints each query's flight-recorder
+/// event chain instead of just the verdict line.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if options.run_secs.is_some() {
+        return Err(CliError::Usage(
+            "--run-secs only applies to `rvaas serve`".to_string(),
+        ));
+    }
+    let mut config = options.config;
+    // One-shot mode never listens.
+    config.service.sync_listen = None;
+    config.service.http_listen = None;
+    let daemon = Daemon::start(&config)?;
+    let specs = match &options.query {
+        Some(name) => vec![json::query_by_name(name, options.to_ip)?],
+        None => vec![
+            rvaas_client::QuerySpec::ReachableDestinations,
+            rvaas_client::QuerySpec::ReachingSources,
+            rvaas_client::QuerySpec::Isolation,
+            rvaas_client::QuerySpec::GeoLocation,
+            rvaas_client::QuerySpec::Neutrality,
+        ],
+    };
+    let recorder = rvaas_telemetry::trace::recorder();
+    for spec in specs {
+        let response = daemon.service().try_query(options.client, spec)?;
+        let chain = recorder.chain(response.trace);
+        println!("{}", json::render_trace(response.trace.0, &chain));
     }
     daemon.shutdown();
     Ok(())

@@ -29,7 +29,8 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
     let mut stream = TcpStream::connect(addr).unwrap();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: rvaas\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: rvaas\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .unwrap();
@@ -45,6 +46,29 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// Reads exactly one response off a persistent connection: headers, then
+/// `Content-Length` body bytes — without waiting for EOF.
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "EOF inside headers");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw).unwrap();
+    let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
 }
 
 /// Runs one sync exchange on an open connection and applies the response.
@@ -114,11 +138,16 @@ fn daemon_serves_http_and_concurrent_sync_sessions_over_an_epoch_publish() {
     assert_eq!(session2.serial(), 1);
 
     // Publish epoch 2 through the daemon's service handle; both live
-    // sessions must ride the delta (not a reset) to the new serial.
+    // sessions must ride the delta (not a reset) to the new serial. Client
+    // 1 holds a standing query so the delta re-verifies it — the epoch's
+    // provenance record must account for exactly that.
+    daemon
+        .sync_server()
+        .subscribe(ClientId(1), rvaas_client::QuerySpec::Isolation);
     let mut snapshot = daemon.service().store().current().snapshot.clone();
     snapshot.record_installed(
         SwitchId(1),
-        FlowEntry::new(7, FlowMatch::to_ip(0x0a00_0001), vec![Action::Drop]),
+        FlowEntry::new(7, FlowMatch::to_ip(0x2000), vec![Action::Drop]),
         SimTime::from_millis(20),
     );
     let serial = daemon
@@ -152,6 +181,28 @@ fn daemon_serves_http_and_concurrent_sync_sessions_over_an_epoch_publish() {
     assert_eq!(epoch.get("serial").unwrap().as_int(), Some(2));
     assert!(epoch.get("rules").unwrap().as_int().unwrap() > 0);
 
+    // --- /v1/epoch/2/provenance audits the publish -----------------------
+    // The record must carry the exact delta size and the re-verification
+    // work the two sync sessions just observed: one rule added, one
+    // standing query re-verified, two delta-serving sessions.
+    let (status, body) = http(http_addr, "GET", "/v1/epoch/2/provenance", "");
+    assert_eq!(status, 200, "{body}");
+    let record = json::parse(&body).unwrap();
+    assert_eq!(record.get("serial").unwrap().as_int(), Some(2));
+    assert_eq!(record.get("added").unwrap().as_int(), Some(1));
+    assert_eq!(record.get("delta_rules").unwrap().as_int(), Some(1));
+    assert_eq!(
+        record.get("reverified").unwrap().as_int(),
+        Some(1),
+        "one standing query rode the delta"
+    );
+    assert_eq!(record.get("reverify_sessions").unwrap().as_int(), Some(2));
+    assert!(record.get("trace").unwrap().as_int().unwrap() > 0);
+    let (status, _) = http(http_addr, "GET", "/v1/epoch/99/provenance", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(http_addr, "GET", "/v1/epoch/seance/provenance", "");
+    assert_eq!(status, 400);
+
     // --- /metrics parses and carries the daemon's counters --------------
     let (status, text) = http(http_addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
@@ -173,6 +224,134 @@ fn daemon_serves_http_and_concurrent_sync_sessions_over_an_epoch_publish() {
     // --- clean shutdown drains everything -------------------------------
     drop(conn1);
     drop(conn2);
+    daemon.shutdown();
+}
+
+#[test]
+fn http_queries_expose_causal_trace_chains_and_status() {
+    let daemon = started_daemon();
+    let http_addr = daemon.http_addr().unwrap();
+
+    let (status, body) = http(
+        http_addr,
+        "POST",
+        "/v1/query",
+        r#"{"client": 3, "query": "isolation"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let verdict = json::parse(&body).unwrap();
+    let trace = verdict.get("trace").unwrap().as_int().unwrap();
+    assert!(trace > 0, "verdicts echo a trace id");
+
+    // Fetch the chain by the echoed id: it must be causal — ingress first,
+    // dispatch then eval in the middle, the verdict after, all under the
+    // same trace id with monotone timestamps.
+    let (status, body) = http(http_addr, "GET", &format!("/v1/trace/{trace}"), "");
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("trace").unwrap().as_int(), Some(trace));
+    let Some(json::Json::Array(events)) = doc.get("events") else {
+        panic!("trace export lost its events array: {body}");
+    };
+    let stages: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("stage").unwrap().as_str().unwrap())
+        .collect();
+    let pos = |name: &str| {
+        stages
+            .iter()
+            .position(|s| *s == name)
+            .unwrap_or_else(|| panic!("{name} missing from chain {stages:?}"))
+    };
+    assert_eq!(pos("ingress.http"), 0, "ingress leads the chain");
+    assert!(pos("ingress.http") < pos("pool.dispatch"));
+    assert!(pos("pool.dispatch") < pos("pool.eval"));
+    assert!(pos("pool.eval") < pos("verdict"));
+    let times: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("at_us").unwrap().as_int().unwrap())
+        .collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "timestamps must be monotone: {times:?}"
+    );
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("seq").unwrap().as_int().unwrap())
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seq must be strictly increasing: {seqs:?}"
+    );
+
+    // Unknown and malformed trace ids.
+    let (status, _) = http(http_addr, "GET", "/v1/trace/18446744073709551615", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(http_addr, "GET", "/v1/trace/seance", "");
+    assert_eq!(status, 400);
+
+    // The slow-capture endpoint is well-formed even when nothing is slow.
+    let (status, body) = http(http_addr, "GET", "/v1/trace/slow", "");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).unwrap();
+    assert!(doc.get("slow_threshold_us").unwrap().as_int().is_some());
+    assert!(matches!(doc.get("retained"), Some(json::Json::Array(_))));
+
+    // The health snapshot reflects the running daemon.
+    let (status, body) = http(http_addr, "GET", "/v1/status", "");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("epoch_serial").unwrap().as_int(), Some(1));
+    assert_eq!(doc.get("workers").unwrap().as_int(), Some(2));
+    assert_eq!(
+        doc.get("version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    let trace_info = doc.get("trace").unwrap();
+    assert_eq!(trace_info.get("enabled"), Some(&json::Json::Bool(true)));
+    assert!(trace_info.get("ring_capacity").unwrap().as_int().unwrap() > 0);
+
+    // The scrape carries the connection gauge and the build-info marker.
+    let (_, text) = http(http_addr, "GET", "/metrics", "");
+    assert!(
+        text.contains("rvaas_http_connections_active"),
+        "active-connection gauge missing from scrape"
+    );
+    assert!(
+        text.contains(concat!(
+            "rvaas_build_info{version=\"",
+            env!("CARGO_PKG_VERSION"),
+            "\"} 1"
+        )),
+        "build info gauge missing from scrape"
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn http_connections_persist_across_requests() {
+    let daemon = started_daemon();
+    let addr = daemon.http_addr().unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // HTTP/1.1 defaults to keep-alive: several requests ride one socket.
+    for _ in 0..2 {
+        write!(stream, "GET /v1/epoch HTTP/1.1\r\nHost: rvaas\r\n\r\n").unwrap();
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"serial\""), "{body}");
+    }
+    // Asking to close is honoured: response arrives, then EOF.
+    write!(
+        stream,
+        "GET /v1/epoch HTTP/1.1\r\nHost: rvaas\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after Connection: close");
     daemon.shutdown();
 }
 

@@ -81,6 +81,7 @@ fn sync_seeds() {
                     },
                 }],
             },
+            trace: 0,
         }
         .encode(),
     );
@@ -93,6 +94,7 @@ fn sync_seeds() {
             payload: SyncPayload::Reset {
                 full: vec![FlowDigest(10), FlowDigest(11), FlowDigest(12)],
             },
+            trace: 0,
         }
         .encode(),
     );

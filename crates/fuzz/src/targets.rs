@@ -31,6 +31,7 @@ pub const TARGETS: &[(&str, Target)] = &[
     ("json", json_target),
     ("cube", cube_target),
     ("config", config_target),
+    ("trace", trace_target),
 ];
 
 /// Looks a target up by name.
@@ -117,22 +118,35 @@ pub fn sync_target(data: &[u8]) {
 /// Properties: parse never panics; a parsed request re-rendered in
 /// canonical form re-parses to the same method, target and body.
 pub fn http_target(data: &[u8]) {
-    let Ok(request) = http::read_request(&mut &data[..]) else {
-        return;
+    let request = match http::read_request(&mut &data[..]) {
+        Ok(Some(request)) => request,
+        Ok(None) | Err(_) => return, // idle-quiet or malformed: must not panic
     };
     assert!(request.body.len() <= data.len(), "body invented bytes");
     let canonical = format!(
-        "{} {} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        "{} {} HTTP/1.1\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
         request.method,
         request.target,
         request.body.len(),
+        if request.close { "close" } else { "keep-alive" },
         request.body
     );
-    let reparsed =
-        http::read_request(&mut canonical.as_bytes()).expect("canonical re-render must re-parse");
-    assert_eq!(reparsed.method, request.method);
-    assert_eq!(reparsed.target, request.target);
-    assert_eq!(reparsed.body, request.body);
+    let reparsed = http::read_request(&mut canonical.as_bytes())
+        .expect("canonical re-render must re-parse")
+        .expect("canonical re-render is not idle-quiet");
+    assert_eq!(reparsed, request, "HTTP round-trip changed the request");
+
+    // The router's segment splitter must survive whatever target the
+    // request smuggled in, and never invent path material.
+    let segments = http::path_segments(&request.target);
+    assert!(
+        segments.iter().map(|s| s.len()).sum::<usize>() <= request.target.len(),
+        "segments invented bytes"
+    );
+    for segment in segments {
+        assert!(!segment.is_empty(), "empty segments must be dropped");
+        assert!(!segment.contains('/'), "segments must not contain slashes");
+    }
 }
 
 /// Renders a parsed JSON value back to source text.
@@ -206,6 +220,14 @@ fn render_config(config: &DaemonConfig) -> String {
         "max_delta_history = {}\n",
         service.max_delta_history
     ));
+    out.push_str(&format!(
+        "trace_ring_capacity = {}\n",
+        service.trace_ring_capacity
+    ));
+    out.push_str(&format!(
+        "slow_query_threshold_us = {}\n",
+        service.slow_query_threshold_us
+    ));
     if let Some(addr) = &service.sync_listen {
         out.push_str(&format!("sync_listen = {}\n", render_config_value(addr)));
     }
@@ -238,6 +260,71 @@ pub fn config_target(data: &[u8]) {
             "rules parser invented entries"
         );
     }
+}
+
+/// Flight-recorder JSON export: arbitrary bytes as a recorder "program"
+/// plus an adversarial request target.
+///
+/// Properties: the router's path splitter never panics on arbitrary
+/// targets (hostile trace ids and serials arrive as path segments); a
+/// recorder driven through arbitrary appends and captures renders — via
+/// the daemon's real `render_trace` / `render_retained` — to JSON that
+/// re-parses, preserves the event count, and echoes each event's trace id.
+pub fn trace_target(data: &[u8]) {
+    use rvaas_telemetry::{CaptureReason, FlightRecorder, TraceStage};
+
+    // Adversarial path handling first: whatever bytes decode to, the
+    // splitter must cope (the daemon feeds it raw request targets).
+    if let Ok(target) = std::str::from_utf8(data) {
+        for segment in http::path_segments(target) {
+            let _ = segment.parse::<u64>(); // the router's id/serial parse
+        }
+    }
+
+    let mut dna = Dna::new(data);
+    let capacity = 8 + usize::from(dna.byte()) % 64;
+    let recorder = FlightRecorder::with_capacity(capacity, u64::from(dna.u16()));
+    let traces: Vec<_> = (0..4).map(|_| recorder.mint()).collect();
+    for _ in 0..usize::from(dna.byte()) % 64 {
+        let trace = traces[usize::from(dna.byte()) % traces.len()];
+        if dna.byte() % 8 == 7 {
+            let reason = if dna.byte().is_multiple_of(2) {
+                CaptureReason::Error
+            } else {
+                CaptureReason::Slow {
+                    latency_us: u64::from(dna.u32()),
+                }
+            };
+            recorder.capture(trace, reason);
+        } else {
+            let stage = TraceStage::from_code(u64::from(dna.byte() % 15) + 1)
+                .expect("codes 1..=15 are valid stages");
+            recorder.append(trace, stage, u64::from(dna.u32()), u64::from(dna.u32()));
+        }
+    }
+    for trace in &traces {
+        let chain = recorder.chain(*trace);
+        let rendered = json::render_trace(trace.0, &chain);
+        let doc = json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("trace render must re-parse: {e}\n{rendered}"));
+        assert_eq!(doc.get("trace").and_then(json::Json::as_int), Some(trace.0));
+        let Some(json::Json::Array(events)) = doc.get("events") else {
+            panic!("rendered trace lost its events array:\n{rendered}");
+        };
+        assert_eq!(events.len(), chain.len(), "render changed the event count");
+    }
+    let retained = recorder.retained();
+    let rendered = json::render_retained(&retained, recorder.slow_threshold_us());
+    let doc = json::parse(&rendered)
+        .unwrap_or_else(|e| panic!("retained render must re-parse: {e}\n{rendered}"));
+    let Some(json::Json::Array(captures)) = doc.get("retained") else {
+        panic!("rendered retained set lost its array:\n{rendered}");
+    };
+    assert_eq!(
+        captures.len(),
+        retained.len(),
+        "render changed the capture count"
+    );
 }
 
 /// A byte-stream "DNA" the cube target decodes into rules and headers.

@@ -242,6 +242,7 @@ fn stale_epoch_replay_cannot_roll_back_a_sync_client() {
             removed: Vec::new(),
             reverified: Vec::new(),
         },
+        trace: 0,
     };
     assert!(matches!(
         session.apply(&foreign),

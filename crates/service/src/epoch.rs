@@ -37,10 +37,15 @@ use rvaas::{
 };
 use rvaas_client::{FlowDigest, QuerySpec};
 use rvaas_openflow::FlowEntry;
+use rvaas_telemetry::{TraceContext, TraceId, TraceStage};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, SimTime, SwitchId};
 
 use crate::error::ServiceError;
+
+/// How many [`EpochProvenance`] records the store retains. Bounded like the
+/// flight recorder: old epochs age out, recent ones stay queryable.
+pub const PROVENANCE_CAPACITY: usize = 1024;
 
 /// Computes the digest identifying one installed flow entry.
 ///
@@ -83,6 +88,60 @@ pub struct SnapshotEpoch {
     pub rules: BTreeMap<FlowDigest, (SwitchId, FlowEntry)>,
     /// When the epoch was published (simulation time of the last update).
     pub published_at: SimTime,
+}
+
+impl SnapshotEpoch {
+    /// An order-independent FNV-1a fold over the epoch's digest set: one
+    /// `u64` that identifies the *content* of the epoch (two epochs with the
+    /// same installed rules share it regardless of publish path). The same
+    /// constants as the daemon's `/v1/epoch` body, so provenance records and
+    /// the HTTP surface agree.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for d in &self.digests {
+            for byte in d.0.to_be_bytes() {
+                acc ^= u64::from(byte);
+                acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        acc
+    }
+}
+
+/// One entry of the epoch provenance log: who published an epoch, what it
+/// changed, which standing queries the interest index selected, and how much
+/// re-verification it actually triggered. The flight-recorder trace id links
+/// the record to the publish's event chain while it is still in the ring.
+#[derive(Debug, Clone)]
+pub struct EpochProvenance {
+    /// Serial of the published epoch.
+    pub serial: u64,
+    /// Content digest of the epoch (see [`SnapshotEpoch::content_digest`]).
+    pub digest: u64,
+    /// Digest-level additions in the delta.
+    pub added: usize,
+    /// Digest-level removals in the delta.
+    pub removed: usize,
+    /// Rule-level delta size (added + removed entries).
+    pub delta_rules: usize,
+    /// Standing queries the interest-space index selected, when bounded.
+    pub affected_queries: usize,
+    /// True when the change conservatively affects every standing query
+    /// (bulk rebuild / unbounded region); `affected_queries` is then the
+    /// registration count at publish time.
+    pub affected_everything: bool,
+    /// Whether the shadow model took the bulk-rebuild path.
+    pub bulk_rebuild: bool,
+    /// Simulation time the epoch was published.
+    pub published_at: SimTime,
+    /// Flight-recorder trace id of the publish event chain.
+    pub trace: TraceId,
+    /// Standing queries actually re-verified so far by sync sessions
+    /// serving this epoch (accumulated via [`EpochStore::record_reverify`]).
+    pub reverified: u64,
+    /// Number of sync sessions that contributed to `reverified`.
+    pub reverify_sessions: u64,
 }
 
 /// The difference between two epochs, at digest, rule and header-space
@@ -167,6 +226,9 @@ pub struct Published {
     /// (computed under the publish lock, before the swap). The cache and the
     /// sync server invalidate/re-verify exactly these.
     pub affected: AffectedQueries,
+    /// Flight-recorder trace id of the publish event chain; downstream
+    /// consumers (cache carry-forward, re-verification) append to it.
+    pub trace: TraceId,
 }
 
 /// The atomically swapped epoch store.
@@ -190,6 +252,9 @@ pub struct EpochStore {
     /// the new epoch becomes visible); registered/refined concurrently by
     /// the worker pool and the sync server.
     interest: Mutex<InterestIndex>,
+    /// Bounded provenance log, newest at the back; queryable by serial for
+    /// as long as the record has not aged out.
+    provenance: Mutex<VecDeque<EpochProvenance>>,
     max_deltas: usize,
 }
 
@@ -209,6 +274,7 @@ impl EpochStore {
             deltas: Mutex::new(VecDeque::new()),
             shadow: Mutex::new(IncrementalModel::new(Topology::new())),
             interest: Mutex::new(InterestIndex::new(Topology::new())),
+            provenance: Mutex::new(VecDeque::new()),
             max_deltas,
         }
     }
@@ -267,6 +333,54 @@ impl EpochStore {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .attach_telemetry(registry);
+    }
+
+    fn provenance_lock(&self) -> std::sync::MutexGuard<'_, VecDeque<EpochProvenance>> {
+        self.provenance
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record_provenance(&self, record: EpochProvenance) {
+        let mut log = self.provenance_lock();
+        log.push_back(record);
+        while log.len() > PROVENANCE_CAPACITY {
+            log.pop_front();
+        }
+    }
+
+    /// The provenance record of epoch `serial`, if it has not aged out of
+    /// the bounded log.
+    #[must_use]
+    pub fn provenance(&self, serial: u64) -> Option<EpochProvenance> {
+        self.provenance_lock()
+            .iter()
+            .rev()
+            .find(|p| p.serial == serial)
+            .cloned()
+    }
+
+    /// The most recent provenance records, newest first, at most `limit`.
+    #[must_use]
+    pub fn recent_provenance(&self, limit: usize) -> Vec<EpochProvenance> {
+        self.provenance_lock()
+            .iter()
+            .rev()
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Accumulates re-verification fan-out into epoch `serial`'s provenance
+    /// record: a sync session that re-verified `queries` standing queries
+    /// while serving this epoch reports the exact count here. No-op when the
+    /// record has aged out.
+    pub fn record_reverify(&self, serial: u64, queries: u64) {
+        let mut log = self.provenance_lock();
+        if let Some(record) = log.iter_mut().rev().find(|p| p.serial == serial) {
+            record.reverified += queries;
+            record.reverify_sessions += 1;
+        }
     }
 
     /// The current epoch. Never blocks the publisher for longer than the
@@ -385,6 +499,7 @@ impl EpochStore {
         // epoch becomes visible: a footprint refined against this serial can
         // then never be invalidated by this publish.
         let affected = self.interest_lock().advance(serial, &changed);
+        let (added_count, removed_count) = (added.len(), removed.len());
         {
             let mut deltas = self
                 .deltas
@@ -404,20 +519,81 @@ impl EpochStore {
                 deltas.pop_front();
             }
         }
-        *current = Arc::new(SnapshotEpoch {
+        let epoch = Arc::new(SnapshotEpoch {
             serial,
             snapshot,
             digests,
             rules,
             published_at: at,
         });
+        let digest = epoch.content_digest();
+        *current = epoch;
+        let trace = self.trace_publish(
+            serial,
+            digest,
+            added_count,
+            removed_count,
+            change_count,
+            bulk_rebuild,
+            at,
+            &affected,
+        );
         Ok(Published {
             serial,
             changed,
             delta_rules: change_count,
             bulk_rebuild,
             affected,
+            trace,
         })
+    }
+
+    /// Emits the publish event chain into the flight recorder and appends
+    /// the provenance record. Shared by both publish paths.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_publish(
+        &self,
+        serial: u64,
+        digest: u64,
+        added: usize,
+        removed: usize,
+        delta_rules: usize,
+        bulk_rebuild: bool,
+        at: SimTime,
+        affected: &AffectedQueries,
+    ) -> TraceId {
+        let trace = TraceContext::mint();
+        trace.event(TraceStage::EpochPublish, serial, delta_rules as u64);
+        let affected_everything = affected.is_everything();
+        let affected_queries = if affected_everything {
+            self.registered_interests()
+        } else {
+            affected.len()
+        };
+        trace.event(
+            TraceStage::EpochDigest,
+            digest,
+            if affected_everything {
+                u64::MAX
+            } else {
+                affected_queries as u64
+            },
+        );
+        self.record_provenance(EpochProvenance {
+            serial,
+            digest,
+            added,
+            removed,
+            delta_rules,
+            affected_queries,
+            affected_everything,
+            bulk_rebuild,
+            published_at: at,
+            trace: trace.id,
+            reverified: 0,
+            reverify_sessions: 0,
+        });
+        trace.id
     }
 
     /// Advances the epoch by a rule-level delta instead of a full snapshot:
@@ -529,6 +705,7 @@ impl EpochStore {
         };
         let affected = self.interest_lock().advance(serial, &changed);
         let delta_rules = added_rules.len() + removed_rules.len();
+        let (added_count, removed_count) = (added.len(), removed.len());
         {
             let mut deltas = self
                 .deltas
@@ -548,19 +725,32 @@ impl EpochStore {
                 deltas.pop_front();
             }
         }
-        *current = Arc::new(SnapshotEpoch {
+        let epoch = Arc::new(SnapshotEpoch {
             serial,
             snapshot,
             digests,
             rules,
             published_at: at,
         });
+        let digest = epoch.content_digest();
+        *current = epoch;
+        let trace = self.trace_publish(
+            serial,
+            digest,
+            added_count,
+            removed_count,
+            delta_rules,
+            bulk_rebuild,
+            at,
+            &affected,
+        );
         Ok(Published {
             serial,
             changed,
             delta_rules,
             bulk_rebuild,
             affected,
+            trace,
         })
     }
 
@@ -915,6 +1105,64 @@ mod tests {
         assert!(wide
             .affected
             .is_affected(ClientId(2), &QuerySpec::ReachableDestinations));
+    }
+
+    #[test]
+    fn provenance_records_publishes_and_accumulates_reverification() {
+        let store = EpochStore::new(8);
+        store.publish(snapshot_with(&[1, 2]), SimTime::from_millis(1));
+        let p2 = store.publish(snapshot_with(&[2, 3]), SimTime::from_millis(2));
+        assert!(!p2.trace.is_none(), "publishes mint a trace");
+
+        let prov = store.provenance(2).expect("recent serial retained");
+        assert_eq!(prov.serial, 2);
+        assert_eq!(prov.added, 1);
+        assert_eq!(prov.removed, 1);
+        assert_eq!(prov.delta_rules, 2);
+        assert_eq!(prov.digest, store.current().content_digest());
+        assert_eq!(prov.trace, p2.trace);
+        assert_eq!(prov.published_at, SimTime::from_millis(2));
+        assert_eq!((prov.reverified, prov.reverify_sessions), (0, 0));
+
+        // Sync sessions report their exact fan-out; unknown serials no-op.
+        store.record_reverify(2, 5);
+        store.record_reverify(2, 3);
+        store.record_reverify(99, 7);
+        let prov = store.provenance(2).expect("still retained");
+        assert_eq!(prov.reverified, 8);
+        assert_eq!(prov.reverify_sessions, 2);
+        assert!(store.provenance(99).is_none());
+
+        // Newest-first listing; both publishes are on record.
+        let recent = store.recent_provenance(8);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].serial, 2);
+        assert_eq!(recent[1].serial, 1);
+
+        // The publish event chain is in the flight recorder under the
+        // provenance trace id.
+        let chain = rvaas_telemetry::trace::recorder().chain(p2.trace);
+        assert!(chain
+            .iter()
+            .any(|e| e.stage == TraceStage::EpochPublish && e.a == 2));
+        assert!(chain.iter().any(|e| e.stage == TraceStage::EpochDigest));
+    }
+
+    #[test]
+    fn content_digest_depends_on_content_not_publish_path() {
+        let a = EpochStore::new(4);
+        let b = EpochStore::new(4);
+        a.publish(snapshot_with(&[1, 2]), SimTime::from_millis(1));
+        b.publish_changes(
+            &[
+                RuleChange::installed(SwitchId(1), entry(1)),
+                RuleChange::installed(SwitchId(1), entry(2)),
+            ],
+            SimTime::from_millis(9),
+        );
+        assert_eq!(a.current().content_digest(), b.current().content_digest());
+        a.publish(snapshot_with(&[1, 2, 3]), SimTime::from_millis(2));
+        assert_ne!(a.current().content_digest(), b.current().content_digest());
     }
 
     #[test]

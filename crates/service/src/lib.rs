@@ -62,7 +62,10 @@ pub mod sync;
 pub use backend::ServiceBackend;
 pub use cache::{CacheStats, ResultCache};
 pub use config::{ServiceConfig, ServiceSettings, SETTING_KEYS};
-pub use epoch::{digest_entry, digest_snapshot, EpochDelta, EpochStore, Published, SnapshotEpoch};
+pub use epoch::{
+    digest_entry, digest_snapshot, EpochDelta, EpochProvenance, EpochStore, Published,
+    SnapshotEpoch,
+};
 pub use error::ServiceError;
 pub use pool::{QueryResponse, QueryTicket, ServiceStats, VerificationService};
 pub use sync::{ReverifyStats, SyncServer};

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use rvaas::{IncrementalModel, LogicalVerifier, NetworkSnapshot, RuleChange};
 use rvaas_client::{QueryResult, QuerySpec};
-use rvaas_telemetry::{Counter, Gauge, Histogram, Registry};
+use rvaas_telemetry::{Counter, Gauge, Histogram, Registry, TraceContext, TraceId, TraceStage};
 use rvaas_topology::Topology;
 use rvaas_types::{ClientId, SimTime};
 
@@ -49,12 +49,16 @@ pub struct QueryResponse {
     pub epoch_serial: u64,
     /// Wall-clock time from submission to completion.
     pub latency: Duration,
+    /// Flight-recorder trace id of this query's event chain (minted at
+    /// ingress, echoed back so the submitter can fetch the chain).
+    pub trace: TraceId,
 }
 
 struct QueryJob {
     client: ClientId,
     spec: QuerySpec,
     submitted: Instant,
+    trace: TraceContext,
     reply: mpsc::Sender<QueryResponse>,
 }
 
@@ -247,6 +251,12 @@ impl VerificationService {
         config: ServiceConfig,
         registry: Arc<Registry>,
     ) -> Self {
+        // Shape the process-global flight recorder before the first event;
+        // the slow-query threshold additionally applies live.
+        rvaas_telemetry::trace::configure(
+            config.settings.trace_ring_capacity,
+            config.settings.slow_query_threshold_us,
+        );
         let store = Arc::new(EpochStore::new(config.settings.max_delta_history.max(1)));
         store.attach_shadow_telemetry(&registry);
         store.attach_interest_topology(topology.clone());
@@ -322,6 +332,19 @@ impl VerificationService {
     #[must_use]
     pub fn current_serial(&self) -> u64 {
         self.store.current().serial
+    }
+
+    /// Live result-cache entries (the `/v1/status` health snapshot reports
+    /// this).
+    #[must_use]
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of worker threads in the pool.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.senders.len()
     }
 
     /// Publishes `snapshot` as the next epoch; in-flight queries keep
@@ -406,7 +429,11 @@ impl VerificationService {
         if published.bulk_rebuild {
             self.metrics.shadow_bulk_rebuilds.inc();
         }
-        let _span = self.metrics.stage_cache_advance.span();
+        let _span = self
+            .metrics
+            .stage_cache_advance
+            .span_traced(published.trace);
+        let before = self.cache.stats();
         if self.incremental {
             // Workers register every query in the interest index before
             // caching it, so the index's selection covers every cached
@@ -419,6 +446,12 @@ impl VerificationService {
         } else {
             self.cache.advance(published.serial, |_, _| true);
         }
+        let after = self.cache.stats();
+        TraceContext::from_id(published.trace.0).event(
+            TraceStage::CacheCarry,
+            after.carried.saturating_sub(before.carried),
+            after.invalidated.saturating_sub(before.invalidated),
+        );
     }
 
     /// Enqueues a query on its client's worker shard.
@@ -444,14 +477,33 @@ impl VerificationService {
         client: ClientId,
         spec: QuerySpec,
     ) -> Result<QueryTicket, ServiceError> {
+        self.try_submit_traced(client, spec, TraceContext::mint())
+    }
+
+    /// Enqueues a query under an existing trace context — the daemon's
+    /// ingress layers mint the trace (so the ingress event leads the chain)
+    /// and thread it through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::PoolUnavailable`] if the shard's worker has
+    /// hung up (the service is shutting down or the thread died).
+    pub fn try_submit_traced(
+        &self,
+        client: ClientId,
+        spec: QuerySpec,
+        trace: TraceContext,
+    ) -> Result<QueryTicket, ServiceError> {
         let (tx, rx) = mpsc::channel();
         self.metrics.queue_depth.inc();
         let shard = client.0 as usize % self.senders.len();
+        trace.event(TraceStage::Dispatch, u64::from(client.0), shard as u64);
         if self.senders[shard]
             .send(WorkerMsg::Query(QueryJob {
                 client,
                 spec,
                 submitted: Instant::now(),
+                trace,
                 reply: tx,
             }))
             .is_err()
@@ -484,6 +536,23 @@ impl VerificationService {
         spec: QuerySpec,
     ) -> Result<QueryResponse, ServiceError> {
         self.try_submit(client, spec)?.try_wait()
+    }
+
+    /// Submits one query under an existing trace context and waits for the
+    /// response; the fallible equivalent of [`Self::try_query`] for ingress
+    /// layers that already minted the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`Self::try_submit`] and
+    /// [`QueryTicket::try_wait`].
+    pub fn try_query_traced(
+        &self,
+        client: ClientId,
+        spec: QuerySpec,
+        trace: TraceContext,
+    ) -> Result<QueryResponse, ServiceError> {
+        self.try_submit_traced(client, spec, trace)?.try_wait()
     }
 
     /// Submits a whole workload and waits for every response (in submission
@@ -631,11 +700,19 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
         }
 
         let epoch = ctx.store.current();
+        // The model sync benefits every job in the batch; its events are
+        // attributed to the job that triggered it (the first).
+        let batch_trace = batch[0].trace;
         let mut evaluator = if ctx.incremental {
             {
                 let sync_hist = Arc::clone(&ctx.metrics.stage_model_sync);
-                let _span = sync_hist.span();
+                let _span = sync_hist.span_traced(batch_trace.id);
+                let _ambient = batch_trace.enter();
+                let from_serial = ctx.model_serial;
                 ctx.sync_model(&epoch);
+                if from_serial != epoch.serial {
+                    batch_trace.event(TraceStage::ModelSync, from_serial, epoch.serial);
+                }
             }
             ctx.verifier
                 .evaluator_with(&epoch.snapshot, ctx.model.network_function())
@@ -646,11 +723,20 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
         if batch.len() > 1 {
             ctx.metrics.batched_queries.add(batch.len() as u64);
         }
-        let _eval_span = ctx.metrics.stage_eval.span();
+        let _eval_span = ctx.metrics.stage_eval.span_traced(batch_trace.id);
         for job in batch {
+            let _ambient = job.trace.enter();
             let result = match ctx.cache.get(epoch.serial, job.client, &job.spec) {
-                Some(result) => result,
+                Some(result) => {
+                    job.trace
+                        .event(TraceStage::CacheHit, epoch.serial, u64::from(job.client.0));
+                    result
+                }
                 None => {
+                    job.trace
+                        .event(TraceStage::CacheMiss, epoch.serial, u64::from(job.client.0));
+                    job.trace
+                        .event(TraceStage::Eval, u64::from(job.client.0), epoch.serial);
                     if ctx.incremental {
                         // Register BEFORE caching: a publish that lands in
                         // between then already widens this query, so the
@@ -672,9 +758,13 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
                 }
             };
             let latency = job.submitted.elapsed();
+            let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+            job.trace
+                .event(TraceStage::Verdict, epoch.serial, latency_us);
             ctx.metrics
                 .query_latency
-                .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+                .record_traced(latency_us, job.trace.id);
+            rvaas_telemetry::trace::recorder().capture_if_slow(job.trace.id, latency_us);
             ctx.metrics.queries.inc();
             ctx.metrics.queue_depth.dec();
             // The submitter may have given up waiting; that is not an error.
@@ -684,6 +774,7 @@ fn worker_loop(rx: &mpsc::Receiver<WorkerMsg>, mut ctx: WorkerContext) {
                 result,
                 epoch_serial: epoch.serial,
                 latency,
+                trace: job.trace.id,
             });
         }
         if shutdown {
@@ -940,6 +1031,41 @@ mod tests {
             service.try_query_all(&[(ClientId(1), QuerySpec::Isolation)]),
             Err(ServiceError::PoolUnavailable { .. })
         ));
+    }
+
+    #[test]
+    fn query_responses_carry_a_reconstructable_trace_chain() {
+        let topology = generators::line(3, 1);
+        let (service, _snapshot) = service_over(&topology, 1, true);
+        let response = service.query(ClientId(1), QuerySpec::Isolation);
+        assert!(!response.trace.is_none(), "default-on tracing mints an id");
+        let chain = rvaas_telemetry::trace::recorder().chain(response.trace);
+        let stages: Vec<TraceStage> = chain.iter().map(|e| e.stage).collect();
+        for expected in [
+            TraceStage::Dispatch,
+            TraceStage::CacheMiss,
+            TraceStage::Eval,
+            TraceStage::Verdict,
+        ] {
+            assert!(
+                stages.contains(&expected),
+                "missing {expected:?}: {stages:?}"
+            );
+        }
+        let dispatch = stages.iter().position(|s| *s == TraceStage::Dispatch);
+        let verdict = stages.iter().position(|s| *s == TraceStage::Verdict);
+        assert!(dispatch < verdict, "chain out of causal order: {stages:?}");
+        assert!(
+            chain.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+            "timestamps must be monotone within a chain"
+        );
+
+        // The repeat is served from cache, on a fresh trace of its own.
+        let again = service.query(ClientId(1), QuerySpec::Isolation);
+        assert_ne!(again.trace, response.trace);
+        let chain = rvaas_telemetry::trace::recorder().chain(again.trace);
+        assert!(chain.iter().any(|e| e.stage == TraceStage::CacheHit));
+        assert!(chain.iter().all(|e| e.trace == again.trace));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use rvaas_client::QuerySpec;
 use rvaas_client::{
     decode_inband, InbandMessage, ReverifiedQuery, SyncPayload, SyncRequest, SyncResponse,
 };
-use rvaas_telemetry::{Counter, Histogram, Registry};
+use rvaas_telemetry::{Counter, Histogram, Registry, TraceContext, TraceStage};
 use rvaas_types::ClientId;
 
 use crate::epoch::EpochStore;
@@ -169,6 +169,14 @@ impl SyncServer {
         service: &VerificationService,
         request: &SyncRequest,
     ) -> Result<SyncResponse, ServiceError> {
+        // The sync endpoint is this request's ingress: mint the trace here
+        // (default-on) and echo it in the response's trailing field.
+        let trace = TraceContext::mint();
+        trace.event(
+            TraceStage::IngressSync,
+            u64::from(request.client.0),
+            request.have_serial,
+        );
         let current = self.store.current();
         // A client with no state, from another session, or whose serial the
         // history no longer covers gets the full digest set.
@@ -185,14 +193,25 @@ impl SyncServer {
                 payload: SyncPayload::Reset {
                     full: current.digests.iter().copied().collect(),
                 },
+                trace: trace.id.0,
             },
             Some(delta) if delta.is_empty() => SyncResponse {
                 session: self.session_id,
                 serial: current.serial,
                 payload: SyncPayload::Unchanged,
+                trace: trace.id.0,
             },
             Some(delta) => {
-                let reverified = self.reverify(service, request.client, &delta.affected)?;
+                let reverified = self.reverify(service, request.client, &delta.affected, trace)?;
+                // The exact fan-out this session observed, folded into the
+                // served epoch's provenance record.
+                trace.event(
+                    TraceStage::Reverify,
+                    delta.to_serial,
+                    reverified.len() as u64,
+                );
+                self.store
+                    .record_reverify(delta.to_serial, reverified.len() as u64);
                 SyncResponse {
                     session: self.session_id,
                     serial: delta.to_serial,
@@ -201,6 +220,7 @@ impl SyncServer {
                         removed: delta.removed,
                         reverified,
                     },
+                    trace: trace.id.0,
                 }
             }
         })
@@ -211,8 +231,9 @@ impl SyncServer {
         service: &VerificationService,
         client: ClientId,
         affected: &AffectedQueries,
+        trace: TraceContext,
     ) -> Result<Vec<ReverifiedQuery>, ServiceError> {
-        let _span = self.reverify_latency.span();
+        let _span = self.reverify_latency.span_traced(trace.id);
         // The affected-set test: the window's stored per-epoch selections,
         // unioned by `delta_between`, intersected with this client's
         // subscriptions. Unselected standing queries provably kept their
@@ -382,6 +403,27 @@ mod tests {
             reverified[0].result,
             QueryResult::IsolationStatus { .. }
         ));
+
+        // The response echoes its flight-recorder trace, whose chain shows
+        // the ingress and the exact reverification fan-out...
+        assert_ne!(response.trace, 0, "sync ingress mints a trace");
+        let chain =
+            rvaas_telemetry::trace::recorder().chain(rvaas_telemetry::TraceId(response.trace));
+        assert!(chain
+            .iter()
+            .any(|e| e.stage == rvaas_telemetry::TraceStage::IngressSync && e.a == 1));
+        assert!(chain
+            .iter()
+            .any(|e| e.stage == rvaas_telemetry::TraceStage::Reverify
+                && e.a == response.serial
+                && e.b == 1));
+        // ...and the served epoch's provenance accumulates that fan-out.
+        let prov = service
+            .store()
+            .provenance(response.serial)
+            .expect("fresh epoch has provenance");
+        assert_eq!(prov.reverified, 1);
+        assert_eq!(prov.reverify_sessions, 1);
     }
 
     #[test]
@@ -464,6 +506,7 @@ mod tests {
             payload: SyncPayload::Reset {
                 full: service.store().current().digests.iter().copied().collect(),
             },
+            trace: 0,
         };
         assert!(
             delta_response.encoded_len() < reset_equivalent.encoded_len(),

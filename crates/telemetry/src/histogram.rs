@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::trace::TraceId;
+
 /// Number of buckets: one for value 0, then one per power of two up to
 /// `u64::MAX`. Bucket `i > 0` covers the half-open range `[2^(i-1), 2^i)`.
 pub const BUCKETS: usize = 65;
@@ -45,6 +47,11 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Exemplar: the worst observation recorded with a trace attached, and
+    /// the trace it belongs to — a p99 spike links straight back to a
+    /// reconstructable flight-recorder chain.
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -55,6 +62,8 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 }
@@ -98,6 +107,37 @@ impl Histogram {
         self.record(us);
     }
 
+    /// Records one observation and, when it is the worst traced one seen so
+    /// far, remembers `trace` as the family's exemplar. The exemplar update
+    /// is two relaxed stores on a path taken only for new maxima; a racing
+    /// pair of simultaneous maxima may interleave value and trace, which is
+    /// acceptable for a diagnostic pointer.
+    pub fn record_traced(&self, value: u64, trace: TraceId) {
+        self.record(value);
+        if !trace.is_none() && value >= self.exemplar_value.load(Ordering::Relaxed) {
+            self.exemplar_value.store(value, Ordering::Relaxed);
+            self.exemplar_trace.store(trace.0, Ordering::Relaxed);
+        }
+    }
+
+    /// Records elapsed microseconds since `start` under `trace`.
+    pub fn record_since_traced(&self, start: Instant, trace: TraceId) {
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.record_traced(us, trace);
+    }
+
+    /// The worst traced observation and its trace, if any was recorded via
+    /// [`record_traced`](Histogram::record_traced).
+    #[must_use]
+    pub fn exemplar(&self) -> Option<(u64, TraceId)> {
+        let trace = self.exemplar_trace.load(Ordering::Relaxed);
+        if trace == 0 {
+            None
+        } else {
+            Some((self.exemplar_value.load(Ordering::Relaxed), TraceId(trace)))
+        }
+    }
+
     /// An RAII timer that records elapsed microseconds into this histogram
     /// when dropped.
     #[must_use]
@@ -105,6 +145,18 @@ impl Histogram {
         Span {
             histogram: self,
             start: Instant::now(),
+            trace: TraceId::NONE,
+        }
+    }
+
+    /// Like [`span`](Histogram::span), but the observation is attributed to
+    /// `trace` so it can become the histogram's exemplar.
+    #[must_use]
+    pub fn span_traced(&self, trace: TraceId) -> Span<'_> {
+        Span {
+            histogram: self,
+            start: Instant::now(),
+            trace,
         }
     }
 
@@ -244,11 +296,12 @@ impl HistogramSnapshot {
 pub struct Span<'a> {
     histogram: &'a Histogram,
     start: Instant,
+    trace: TraceId,
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        self.histogram.record_since(self.start);
+        self.histogram.record_since_traced(self.start, self.trace);
     }
 }
 
@@ -408,6 +461,19 @@ mod tests {
             let _span = h.span();
         }
         assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_worst_traced_observation() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.record(9999); // untraced observations never become exemplars
+        assert_eq!(h.exemplar(), None);
+        h.record_traced(100, TraceId(7));
+        h.record_traced(500, TraceId(8));
+        h.record_traced(200, TraceId(9));
+        assert_eq!(h.exemplar(), Some((500, TraceId(8))));
+        assert_eq!(h.snapshot().count, 4);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   `# TYPE` / sample lines) ready to be served verbatim from a `/metrics`
 //!   endpoint; [`text::parse_text`] is the matching line-level parser the
 //!   tests and the CI format gate use.
+//! * [`trace`] — the causal layer on top of the aggregates: per-ingress
+//!   [`TraceId`]s, a sharded ring-buffer [`FlightRecorder`] of structured
+//!   events (default-on; appends cost a relaxed RMW plus a few stores),
+//!   bounded slow-query retention, and histogram **exemplars** linking each
+//!   stage-latency family's worst recent observation back to its trace.
 //!
 //! Handles returned by the registry are `Arc`s: look a metric up once at
 //! construction time, then record through the handle — the registry's
@@ -47,8 +52,12 @@ pub mod histogram;
 pub mod metric;
 pub mod registry;
 pub mod text;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, Span, BUCKETS};
 pub use metric::{Counter, Gauge};
-pub use registry::{MetricKind, Registry, StageSpan};
+pub use registry::{Exemplar, MetricKind, Registry, StageSpan};
 pub use text::{parse_text, render_value, Sample, TextParseError};
+pub use trace::{
+    CaptureReason, FlightRecorder, RetainedTrace, TraceContext, TraceEvent, TraceId, TraceStage,
+};

@@ -4,6 +4,7 @@
 use crate::histogram::{bucket_bound, bucket_index, Histogram, HistogramSnapshot};
 use crate::metric::{Counter, Gauge};
 use crate::text;
+use crate::trace::TraceId;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -31,6 +32,20 @@ impl MetricKind {
             MetricKind::Histogram => "histogram",
         }
     }
+}
+
+/// One histogram instance's remembered worst observation and the trace
+/// that produced it; see [`Registry::exemplars`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Metric family name (e.g. `rvaas_stage_latency_us`).
+    pub metric: String,
+    /// The instance's sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The worst recorded value since the exemplar was last displaced.
+    pub value: u64,
+    /// Flight-recorder trace that produced the value.
+    pub trace: TraceId,
 }
 
 enum Instrument {
@@ -144,7 +159,44 @@ impl Registry {
         StageSpan {
             histogram: self.stage_histogram(stage),
             start: Instant::now(),
+            trace: TraceId::NONE,
         }
+    }
+
+    /// Like [`span`](Registry::span) but attributed to `trace`, so the
+    /// stage family's exemplar can point back at the worst observation's
+    /// flight-recorder chain.
+    #[must_use]
+    pub fn span_traced(&self, stage: &str, trace: TraceId) -> StageSpan {
+        StageSpan {
+            histogram: self.stage_histogram(stage),
+            start: Instant::now(),
+            trace,
+        }
+    }
+
+    /// Every histogram instance that currently remembers an exemplar. The
+    /// daemon exports these next to the retained slow traces so a latency
+    /// spike in a scrape links directly to a reconstructable trace.
+    #[must_use]
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let families = self.families.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, instrument) in &family.instances {
+                if let Instrument::Histogram(h) = instrument {
+                    if let Some((value, trace)) = h.exemplar() {
+                        out.push(Exemplar {
+                            metric: name.clone(),
+                            labels: labels.clone(),
+                            value,
+                            trace,
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn instrument(
@@ -249,6 +301,19 @@ impl Registry {
                     }
                     Instrument::Histogram(h) => {
                         render_histogram(&mut out, name, labels, &h.snapshot());
+                        // Exemplar comment: the parser skips unknown comment
+                        // kinds, so scrapers that don't understand exemplars
+                        // see a plain histogram while the trace link still
+                        // rides the exposition.
+                        if let Some((value, trace)) = h.exemplar() {
+                            out.push_str("# EXEMPLAR ");
+                            text::write_sample(
+                                &mut out,
+                                name,
+                                labels,
+                                &format!("{value} trace={}", trace.0),
+                            );
+                        }
                     }
                 }
             }
@@ -298,11 +363,16 @@ fn render_histogram(
 pub struct StageSpan {
     histogram: Arc<Histogram>,
     start: Instant,
+    trace: TraceId,
 }
 
 impl Drop for StageSpan {
     fn drop(&mut self) {
-        self.histogram.record_since(self.start);
+        if self.trace.is_none() {
+            self.histogram.record_since(self.start);
+        } else {
+            self.histogram.record_since_traced(self.start, self.trace);
+        }
     }
 }
 
@@ -375,6 +445,54 @@ mod tests {
         }
         let snap = registry.histogram_snapshot(STAGE_LATENCY_METRIC);
         assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn traced_spans_surface_as_family_exemplars() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span_traced("pool.eval", TraceId(42));
+        }
+        let exemplars = registry.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        let exemplar = &exemplars[0];
+        assert_eq!(exemplar.metric, STAGE_LATENCY_METRIC);
+        assert_eq!(
+            exemplar.labels,
+            [("stage".to_string(), "pool.eval".to_string())]
+        );
+        assert_eq!(exemplar.trace, TraceId(42));
+        // Untraced spans never displace an exemplar's trace link.
+        {
+            let _span = registry.span("pool.eval");
+        }
+        assert_eq!(registry.exemplars()[0].trace, TraceId(42));
+    }
+
+    #[test]
+    fn exemplars_render_as_comments_without_breaking_the_exposition() {
+        let registry = Registry::new();
+        registry
+            .histogram_with(
+                STAGE_LATENCY_METRIC,
+                "Stage latency.",
+                &[("stage", "pool.eval")],
+            )
+            .record_traced(500, TraceId(42));
+        let rendered = registry.render_text();
+        assert!(rendered
+            .contains("# EXEMPLAR rvaas_stage_latency_us{stage=\"pool.eval\"} 500 trace=42"));
+        // The exemplar rides as a comment, so the document still parses and
+        // the comment contributes no sample.
+        let samples = crate::text::parse_text(&rendered).unwrap();
+        assert!(samples.iter().all(|s| s.name != "# EXEMPLAR"));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "rvaas_stage_latency_us_count" && s.value == 1.0));
+        // Untraced histograms render no exemplar comment.
+        let plain = Registry::new();
+        plain.histogram("h_us", "H.").record(9);
+        assert!(!plain.render_text().contains("EXEMPLAR"));
     }
 
     #[test]
